@@ -1,0 +1,102 @@
+//! # anomaly
+//!
+//! Log-volume anomaly detection over Sequence-RTG streams — an
+//! implementation of the paper's final future-work item (§VI): "apply
+//! statistical and/or machine learning algorithms to the logs to distinguish
+//! what could be an anomaly from what is likely to be routine extra load
+//! when there are important variations in the number of issued system log
+//! entries."
+//!
+//! The detector counts messages per (service, tick), keeps a robust
+//! median/MAD baseline per service ([`robust`]), and raises typed alerts
+//! ([`detector::Alert`]): bursts, drops, silences, and "routine extra load"
+//! when the rise is broad-based across services. It consumes the same
+//! [`sequence_rtg::LogRecord`] stream the miner does, so it can sit directly
+//! on the production pipeline of the paper's Fig. 6.
+//!
+//! ```
+//! use anomaly::{DetectorConfig, VolumeDetector};
+//! use sequence_rtg::LogRecord;
+//!
+//! let mut det = VolumeDetector::new(DetectorConfig::default());
+//! // Warm up with steady traffic ...
+//! for _ in 0..12 {
+//!     for r in [LogRecord::new("sshd", "x"), LogRecord::new("sshd", "y")] {
+//!         det.observe(&r.service, 1);
+//!     }
+//!     assert!(det.end_tick().is_empty());
+//! }
+//! // ... then a quiet service stays quiet, and the detector stays calm.
+//! det.observe("sshd", 2);
+//! assert!(det.end_tick().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod robust;
+
+pub use detector::{Alert, AlertKind, DetectorConfig, VolumeDetector};
+pub use robust::{Ewma, SlidingWindow};
+
+/// Convenience: feed a whole batch of records as one tick.
+pub fn observe_batch(det: &mut VolumeDetector, records: &[sequence_rtg::LogRecord]) -> Vec<Alert> {
+    for r in records {
+        det.observe(&r.service, 1);
+    }
+    det.end_tick()
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Constant traffic never alerts, whatever the level or shape.
+        #[test]
+        fn steady_traffic_is_always_quiet(
+            levels in prop::collection::vec(1u64..10_000, 1..6),
+            ticks in 10usize..40,
+        ) {
+            let mut det = VolumeDetector::new(DetectorConfig::default());
+            for _ in 0..ticks {
+                for (i, &n) in levels.iter().enumerate() {
+                    det.observe(&format!("svc{i}"), n);
+                }
+                let alerts = det.end_tick();
+                prop_assert!(alerts.is_empty(), "{alerts:?}");
+            }
+        }
+
+        /// Small jitter (±10%) around a level never alerts either.
+        #[test]
+        fn jittered_traffic_is_quiet(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut det = VolumeDetector::new(DetectorConfig::default());
+            for _ in 0..30 {
+                let n = 1000 + rng.gen_range(0..100) - 50;
+                det.observe("svc", n as u64);
+                let alerts = det.end_tick();
+                prop_assert!(alerts.is_empty(), "{alerts:?}");
+            }
+        }
+
+        /// A 50x burst after warm-up always fires exactly one burst alert.
+        #[test]
+        fn big_burst_always_detected(level in 10u64..1000, ticks in 12usize..30) {
+            let mut det = VolumeDetector::new(DetectorConfig::default());
+            for _ in 0..ticks {
+                det.observe("svc", level);
+                det.observe("other", level);
+                det.end_tick();
+            }
+            det.observe("svc", level * 50);
+            det.observe("other", level);
+            let alerts = det.end_tick();
+            prop_assert_eq!(alerts.len(), 1, "{:?}", alerts);
+            prop_assert_eq!(alerts[0].kind, AlertKind::Burst);
+        }
+    }
+}

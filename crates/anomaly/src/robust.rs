@@ -1,0 +1,210 @@
+//! Robust statistics over sliding windows of message rates.
+//!
+//! Volume anomaly detection must not be fooled by the anomalies themselves:
+//! a mean/standard-deviation baseline is dragged toward a burst, so the
+//! detector uses the **median** and the **median absolute deviation** (MAD),
+//! which have a 50 % breakdown point. The MAD is scaled by the usual
+//! 1.4826 consistency constant so thresholds can be read as "robust sigmas".
+
+/// A fixed-capacity sliding window of rate observations.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    values: Vec<f64>,
+    next: usize,
+    filled: bool,
+}
+
+impl SlidingWindow {
+    /// A window holding the last `capacity` observations (at least 1).
+    pub fn new(capacity: usize) -> SlidingWindow {
+        SlidingWindow {
+            capacity: capacity.max(1),
+            values: Vec::with_capacity(capacity.max(1)),
+            next: 0,
+            filled: false,
+        }
+    }
+
+    /// Add one observation, evicting the oldest once full.
+    pub fn push(&mut self, v: f64) {
+        if self.values.len() < self.capacity {
+            self.values.push(v);
+            if self.values.len() == self.capacity {
+                self.filled = true;
+            }
+        } else {
+            self.values[self.next] = v;
+            self.filled = true;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// `true` once the window has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.filled
+    }
+
+    /// The window's median (`None` when empty).
+    pub fn median(&self) -> Option<f64> {
+        median_of(&mut self.values.clone())
+    }
+
+    /// The scaled median absolute deviation (`None` when empty).
+    pub fn mad(&self) -> Option<f64> {
+        let med = self.median()?;
+        let mut devs: Vec<f64> = self.values.iter().map(|v| (v - med).abs()).collect();
+        median_of(&mut devs).map(|m| m * 1.4826)
+    }
+
+    /// Robust z-score of a candidate value against the window. `None` when
+    /// the window is empty. A zero MAD (perfectly constant history) makes
+    /// any deviation infinite, which is the desired behaviour: a change
+    /// after dead silence is maximally surprising.
+    pub fn robust_z(&self, v: f64) -> Option<f64> {
+        let med = self.median()?;
+        let mad = self.mad()?;
+        if mad == 0.0 {
+            return Some(if (v - med).abs() < f64::EPSILON {
+                0.0
+            } else if v > med {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            });
+        }
+        Some((v - med) / mad)
+    }
+}
+
+fn median_of(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    Some(if n % 2 == 1 { values[n / 2] } else { (values[n / 2 - 1] + values[n / 2]) / 2.0 })
+}
+
+/// An exponentially weighted moving average with bias-corrected warm-up,
+/// used as a smooth short-term trend alongside the robust window.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    weight: f64,
+}
+
+impl Ewma {
+    /// A new EWMA with smoothing factor `alpha` in (0, 1].
+    pub fn new(alpha: f64) -> Ewma {
+        Ewma { alpha: alpha.clamp(1e-6, 1.0), value: 0.0, weight: 0.0 }
+    }
+
+    /// Incorporate one observation.
+    pub fn update(&mut self, v: f64) {
+        self.value = self.alpha * v + (1.0 - self.alpha) * self.value;
+        self.weight = self.alpha + (1.0 - self.alpha) * self.weight;
+    }
+
+    /// The bias-corrected average (`None` before any update).
+    pub fn value(&self) -> Option<f64> {
+        if self.weight == 0.0 {
+            None
+        } else {
+            Some(self.value / self.weight)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert!(w.is_full());
+        assert_eq!(w.median(), Some(3.0)); // holds 2,3,4
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        let mut w = SlidingWindow::new(4);
+        w.push(1.0);
+        assert_eq!(w.median(), Some(1.0));
+        w.push(9.0);
+        assert_eq!(w.median(), Some(5.0));
+        w.push(3.0);
+        assert_eq!(w.median(), Some(3.0));
+    }
+
+    #[test]
+    fn mad_resists_outliers() {
+        let mut w = SlidingWindow::new(9);
+        for _ in 0..8 {
+            w.push(100.0);
+        }
+        w.push(100_000.0); // a single outlier
+        assert_eq!(w.median(), Some(100.0));
+        assert_eq!(w.mad(), Some(0.0)); // majority is constant
+    }
+
+    #[test]
+    fn robust_z_scores() {
+        let mut w = SlidingWindow::new(5);
+        for v in [10.0, 12.0, 11.0, 13.0, 9.0] {
+            w.push(v);
+        }
+        let z = w.robust_z(30.0).unwrap();
+        assert!(z > 5.0, "a 3x burst is many robust sigmas: {z}");
+        let z0 = w.robust_z(11.0).unwrap();
+        assert!(z0.abs() < 1.0, "typical value scores low: {z0}");
+    }
+
+    #[test]
+    fn zero_mad_semantics() {
+        let mut w = SlidingWindow::new(4);
+        for _ in 0..4 {
+            w.push(5.0);
+        }
+        assert_eq!(w.robust_z(5.0), Some(0.0));
+        assert_eq!(w.robust_z(6.0), Some(f64::INFINITY));
+        assert_eq!(w.robust_z(4.0), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.median(), None);
+        assert_eq!(w.robust_z(1.0), None);
+    }
+
+    #[test]
+    fn ewma_converges_and_warm_up_is_unbiased() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.update(10.0);
+        // Bias-corrected: after one observation the value IS the observation.
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-12);
+        for _ in 0..50 {
+            e.update(20.0);
+        }
+        assert!((e.value().unwrap() - 20.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,268 @@
+//! AEL: Abstracting Execution Logs to Execution Events
+//! (Jiang, Hassan, Flora, Hamann — QSIC 2008).
+//!
+//! "AEL is a log abstraction algorithm made of three steps: Anonymize,
+//! Tokenize, and Categorize. The Anonymize step uses simple heuristics to
+//! identify variables in the messages defined by text that followed an equal
+//! sign or certain keywords. These values are replaced in the log message
+//! with a variable marker. The Tokenize method divides the messages into
+//! groups based on the count of words and number of variables marked in the
+//! text. Finally the Categorize method compares the contents inside each
+//! group to determine the patterns." (paper §V)
+//!
+//! A final *reconcile* pass (part of the published algorithm) merges events
+//! inside a bin that differ at a single token position, when several such
+//! near-duplicates exist.
+
+use crate::template::{tokenize, BatchParser, ParseResult, WILDCARD};
+use std::collections::HashMap;
+
+/// AEL configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AelConfig {
+    /// Minimum number of near-duplicate events (differing at one position)
+    /// required before reconcile merges them. The published heuristic uses a
+    /// small threshold; default 2.
+    pub merge_threshold: usize,
+}
+
+impl Default for AelConfig {
+    fn default() -> Self {
+        AelConfig { merge_threshold: 2 }
+    }
+}
+
+/// The AEL parser.
+#[derive(Debug, Clone, Default)]
+pub struct Ael {
+    config: AelConfig,
+}
+
+impl Ael {
+    /// AEL with default parameters.
+    pub fn new() -> Ael {
+        Ael::default()
+    }
+
+    /// AEL with explicit parameters.
+    pub fn with_config(config: AelConfig) -> Ael {
+        Ael { config }
+    }
+}
+
+/// Anonymize: replace obvious dynamic values with `<*>`.
+///
+/// Heuristics from the paper: values after `=` (also `:` pairs), pure
+/// numbers, hex-ish identifiers, IP-like dotted tokens.
+pub fn anonymize(token: &str) -> String {
+    // key=value → key=<*>
+    if let Some(eq) = token.find('=') {
+        let (key, _value) = token.split_at(eq);
+        return format!("{key}={WILDCARD}");
+    }
+    let bare = token.trim_matches(|c: char| ",;()[]".contains(c));
+    if bare.is_empty() {
+        return token.to_string();
+    }
+    let digits = bare.bytes().filter(|b| b.is_ascii_digit()).count();
+    // Pure numbers (possibly decorated).
+    if digits > 0 && bare.bytes().all(|b| b.is_ascii_digit() || b == b'.' || b == b'-' || b == b'+')
+    {
+        return WILDCARD.to_string();
+    }
+    // Long identifiers dominated by digits (blk_123456, 0xdeadbeef).
+    if digits * 2 >= bare.len() {
+        return WILDCARD.to_string();
+    }
+    token.to_string()
+}
+
+impl BatchParser for Ael {
+    fn name(&self) -> &'static str {
+        "AEL"
+    }
+
+    fn parse_batch(&self, lines: &[String]) -> ParseResult {
+        // Anonymize + tokenize.
+        let anonymized: Vec<Vec<String>> = lines
+            .iter()
+            .map(|l| tokenize(l).iter().map(|t| anonymize(t)).collect())
+            .collect();
+        // Tokenize step: bins by (word count, variable count).
+        let mut bins: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (i, toks) in anonymized.iter().enumerate() {
+            let vars = toks.iter().filter(|t| t.contains(WILDCARD)).count();
+            bins.entry((toks.len(), vars)).or_default().push(i);
+        }
+        // Categorize: inside each bin, identical anonymized sequences are one
+        // event; then reconcile near-duplicates.
+        let mut assignments = vec![0usize; lines.len()];
+        let mut templates: Vec<Vec<String>> = Vec::new();
+        let mut bin_keys: Vec<(usize, usize)> = bins.keys().copied().collect();
+        bin_keys.sort_unstable();
+        for key in bin_keys {
+            let members = &bins[&key];
+            // Exact grouping.
+            let mut groups: Vec<(Vec<String>, Vec<usize>)> = Vec::new();
+            let mut index: HashMap<&[String], usize> = HashMap::new();
+            for &mi in members {
+                let toks = &anonymized[mi];
+                match index.get(toks.as_slice()) {
+                    Some(&gi) => groups[gi].1.push(mi),
+                    None => {
+                        let gi = groups.len();
+                        groups.push((toks.clone(), vec![mi]));
+                        index.insert(anonymized[mi].as_slice(), gi);
+                    }
+                }
+            }
+            drop(index);
+            // Reconcile: union groups differing at exactly one position when
+            // enough near-duplicates exist.
+            let merged = reconcile(&mut groups, self.config.merge_threshold);
+            for (template, group_members) in merged {
+                let event_id = templates.len();
+                templates.push(template);
+                for mi in group_members {
+                    assignments[mi] = event_id;
+                }
+            }
+        }
+        ParseResult {
+            assignments,
+            templates: templates.iter().map(|t| t.join(" ")).collect(),
+        }
+    }
+}
+
+/// Merge groups in a bin that differ at exactly one token position, provided
+/// at least `threshold` groups share the rest of the template.
+fn reconcile(
+    groups: &mut Vec<(Vec<String>, Vec<usize>)>,
+    threshold: usize,
+) -> Vec<(Vec<String>, Vec<usize>)> {
+    // Key each group by its tokens with one position masked; count buddies.
+    let n = groups.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    if n > 1 {
+        let width = groups[0].0.len();
+        for pos in 0..width {
+            let mut by_masked: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+            for (gi, (toks, _)) in groups.iter().enumerate() {
+                let masked: Vec<&str> = toks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| if i == pos { WILDCARD } else { t.as_str() })
+                    .collect();
+                by_masked.entry(masked).or_default().push(gi);
+            }
+            for (_, gis) in by_masked {
+                if gis.len() >= threshold && gis.len() > 1 {
+                    for w in gis.windows(2) {
+                        let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Collapse union-find classes.
+    let mut classes: HashMap<usize, (Vec<String>, Vec<usize>)> = HashMap::new();
+    for gi in 0..n {
+        let root = find(&mut parent, gi);
+        let (toks, members) = &groups[gi];
+        match classes.get_mut(&root) {
+            Some((template, all)) => {
+                for (t, tok) in template.iter_mut().zip(toks) {
+                    if t != tok {
+                        *t = WILDCARD.to_string();
+                    }
+                }
+                all.extend(members.iter().copied());
+            }
+            None => {
+                classes.insert(root, (toks.clone(), members.clone()));
+            }
+        }
+    }
+    let mut out: Vec<(Vec<String>, Vec<usize>)> = classes.into_values().collect();
+    out.sort_by_key(|(_, m)| *m.iter().min().unwrap_or(&usize::MAX));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn anonymize_heuristics() {
+        assert_eq!(anonymize("pid=123"), "pid=<*>");
+        assert_eq!(anonymize("42"), "<*>");
+        assert_eq!(anonymize("3.14"), "<*>");
+        assert_eq!(anonymize("blk_4930"), "<*>");
+        assert_eq!(anonymize("word"), "word");
+        assert_eq!(anonymize("ssh2"), "ssh2"); // mostly letters → kept
+    }
+
+    #[test]
+    fn kv_and_number_grouping() {
+        let r = Ael::new().parse_batch(&lines(&[
+            "session opened uid=0 pid=100",
+            "session opened uid=1 pid=200",
+        ]));
+        assert_eq!(r.event_count(), 1);
+        assert_eq!(r.templates[0], "session opened uid=<*> pid=<*>");
+    }
+
+    #[test]
+    fn bins_keep_lengths_apart() {
+        let r = Ael::new().parse_batch(&lines(&["a b c", "a b", "a b c"]));
+        assert_eq!(r.event_count(), 2);
+        assert_eq!(r.assignments[0], r.assignments[2]);
+        assert_ne!(r.assignments[0], r.assignments[1]);
+    }
+
+    #[test]
+    fn reconcile_merges_near_duplicates() {
+        // Three groups differing only in the third word → one event after
+        // reconcile (threshold 2).
+        let r = Ael::new().parse_batch(&lines(&[
+            "state changed to active",
+            "state changed to idle",
+            "state changed to standby",
+        ]));
+        assert_eq!(r.event_count(), 1);
+        assert_eq!(r.templates[0], "state changed to <*>");
+    }
+
+    #[test]
+    fn reconcile_threshold_blocks_single_pairs() {
+        let ael = Ael::with_config(AelConfig { merge_threshold: 3 });
+        let r = ael.parse_batch(&lines(&["mode is on", "mode is off"]));
+        // Only 2 near-duplicates < threshold 3 → separate events.
+        assert_eq!(r.event_count(), 2);
+    }
+
+    #[test]
+    fn untouched_text_without_variables() {
+        let r = Ael::new().parse_batch(&lines(&[
+            "shutting down cleanly",
+            "shutting down cleanly",
+        ]));
+        assert_eq!(r.event_count(), 1);
+        assert_eq!(r.templates[0], "shutting down cleanly");
+    }
+}

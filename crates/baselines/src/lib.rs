@@ -1,0 +1,91 @@
+//! # baselines
+//!
+//! From-scratch Rust implementations of the four best-performing log parsers
+//! from Zhu et al., *Tools and Benchmarks for Automated Log Parsing*
+//! (ICSE-SEIP 2019) — the comparison set used by the Sequence-RTG paper's
+//! Table II ("Best" column) and Table III:
+//!
+//! * [`Drain`] — fixed-depth parse tree (He et al., ICWS 2017); best average
+//!   accuracy in the study.
+//! * [`Iplom`] — iterative partitioning (Makanju et al., KDD 2009).
+//! * [`Ael`] — Anonymize / Tokenize / Categorize (Jiang et al., QSIC 2008).
+//! * [`Spell`] — streaming longest-common-subsequence parsing (Du & Li,
+//!   ICDM 2016).
+//!
+//! All four implement [`BatchParser`]: feed the (pre-processed) log content
+//! lines, get an event assignment per line plus the final templates.
+
+#![warn(missing_docs)]
+
+pub mod ael;
+pub mod drain;
+pub mod iplom;
+pub mod spell;
+pub mod template;
+
+pub use ael::{Ael, AelConfig};
+pub use drain::{Drain, DrainConfig};
+pub use iplom::{Iplom, IplomConfig};
+pub use spell::{Spell, SpellConfig};
+pub use template::{BatchParser, ParseResult};
+
+/// All four baseline parsers, boxed, in the order of the paper's Table III.
+pub fn all_parsers() -> Vec<Box<dyn BatchParser>> {
+    vec![
+        Box::new(Ael::new()),
+        Box::new(Iplom::new()),
+        Box::new(Spell::new()),
+        Box::new(Drain::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small mixed workload every parser must handle without panicking and
+    /// with a sane event count.
+    fn workload() -> Vec<String> {
+        let mut v = Vec::new();
+        for i in 0..30 {
+            v.push(format!("Receiving block blk_{i} src /10.0.0.{} dest /10.0.0.9", i % 5));
+            v.push(format!("PacketResponder {} for block blk_{i} terminating", i % 3));
+            v.push("NameSystem allocateBlock completed".to_string());
+        }
+        v
+    }
+
+    #[test]
+    fn all_parsers_run_on_shared_workload() {
+        let lines = workload();
+        for parser in all_parsers() {
+            let r = parser.parse_batch(&lines);
+            assert_eq!(r.assignments.len(), lines.len(), "{}", parser.name());
+            assert!(
+                (1..=20).contains(&r.event_count()),
+                "{} produced {} events",
+                parser.name(),
+                r.event_count()
+            );
+            // Every assignment refers to a valid template.
+            assert!(r.assignments.iter().all(|&a| a < r.event_count()), "{}", parser.name());
+        }
+    }
+
+    #[test]
+    fn parser_names_are_distinct() {
+        let names: Vec<&str> = all_parsers().iter().map(|p| p.name()).collect();
+        let set: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn assignments_deterministic() {
+        let lines = workload();
+        for parser in all_parsers() {
+            let a = parser.parse_batch(&lines);
+            let b = parser.parse_batch(&lines);
+            assert_eq!(a, b, "{} is nondeterministic", parser.name());
+        }
+    }
+}

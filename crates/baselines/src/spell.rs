@@ -1,0 +1,198 @@
+//! Spell: streaming parsing of system event logs via longest common
+//! subsequence (Du & Li — ICDM 2016).
+//!
+//! "The online approach followed by Spell performs tokenisation using spaces
+//! [...] For the analysis phase, it uses a longest common subsequence
+//! methodology to build a map of the tokens. As with Drain, each new message
+//! is tested to see if it matches a pattern already in the map, otherwise a
+//! new pattern entry is added." (paper §V)
+//!
+//! For each incoming message, the LCS object whose template has the longest
+//! common subsequence with the message is selected; the match is accepted if
+//! the LCS covers at least `tau` of the message length, and the object's
+//! template is refined to the LCS (non-common positions become `<*>`).
+
+use crate::template::{lcs_len, lcs_seq, tokenize, BatchParser, ParseResult, WILDCARD};
+
+/// Spell configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpellConfig {
+    /// Minimum fraction of the message covered by the LCS to join an object
+    /// (the published default is 0.5).
+    pub tau: f64,
+}
+
+impl Default for SpellConfig {
+    fn default() -> Self {
+        SpellConfig { tau: 0.5 }
+    }
+}
+
+/// The Spell parser.
+#[derive(Debug, Clone, Default)]
+pub struct Spell {
+    config: SpellConfig,
+}
+
+impl Spell {
+    /// Spell with default parameters.
+    pub fn new() -> Spell {
+        Spell::default()
+    }
+
+    /// Spell with explicit parameters.
+    pub fn with_config(config: SpellConfig) -> Spell {
+        Spell { config }
+    }
+}
+
+#[derive(Debug)]
+struct LcsObject {
+    /// Template tokens; `<*>` marks variable gaps.
+    template: Vec<String>,
+    /// Constant tokens only (the subsequence the LCS is computed against).
+    constants: Vec<String>,
+}
+
+impl BatchParser for Spell {
+    fn name(&self) -> &'static str {
+        "Spell"
+    }
+
+    fn parse_batch(&self, lines: &[String]) -> ParseResult {
+        let mut objects: Vec<LcsObject> = Vec::new();
+        let mut assignments = Vec::with_capacity(lines.len());
+        for line in lines {
+            let tokens = tokenize(line);
+            // Pre-masked wildcards are variables, not content: they neither
+            // match constants nor count toward the coverage requirement.
+            let content_len = tokens.iter().filter(|t| **t != WILDCARD).count();
+            // Find the object with the maximal LCS against the message.
+            let mut best: Option<(usize, usize)> = None; // (lcs, object idx)
+            for (oi, obj) in objects.iter().enumerate() {
+                // Cheap upper bound first: LCS can't exceed min length.
+                if let Some((b, _)) = best {
+                    if obj.constants.len().min(tokens.len()) <= b {
+                        continue;
+                    }
+                }
+                let l = lcs_len(&tokens, &obj.constants);
+                if best.map_or(true, |(b, _)| l > b) {
+                    best = Some((l, oi));
+                }
+            }
+            match best {
+                Some((l, oi))
+                    if (l as f64) >= self.config.tau * (content_len as f64) && l > 0 =>
+                {
+                    // Refine the template: keep the LCS, wildcard the rest.
+                    let obj = &mut objects[oi];
+                    let common = lcs_seq(&tokens, &obj.constants);
+                    obj.template = rebuild_template(&tokens, &common);
+                    obj.constants = common;
+                    assignments.push(oi);
+                }
+                _ => {
+                    let oi = objects.len();
+                    objects.push(LcsObject {
+                        template: tokens.iter().map(|t| t.to_string()).collect(),
+                        // Pre-masked `<*>` tokens are variables already; they
+                        // must not count as constants or the LCS would match
+                        // wildcards against wildcards across unrelated events.
+                        constants: tokens
+                            .iter()
+                            .filter(|t| **t != WILDCARD)
+                            .map(|t| t.to_string())
+                            .collect(),
+                    });
+                    assignments.push(oi);
+                }
+            }
+        }
+        ParseResult {
+            assignments,
+            templates: objects.iter().map(|o| o.template.join(" ")).collect(),
+        }
+    }
+}
+
+/// Rebuild a template from a message and the common subsequence: walk the
+/// message, keeping tokens on the LCS and collapsing runs of non-common
+/// tokens into single `<*>` gaps.
+fn rebuild_template(tokens: &[&str], common: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut ci = 0usize;
+    let mut gap_open = false;
+    for tok in tokens {
+        if ci < common.len() && *tok == common[ci] {
+            out.push((*tok).to_string());
+            ci += 1;
+            gap_open = false;
+        } else if !gap_open {
+            out.push(WILDCARD.to_string());
+            gap_open = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn groups_by_lcs() {
+        let r = Spell::new().parse_batch(&lines(&[
+            "Temperature 45 exceeds warning threshold",
+            "Temperature 78 exceeds warning threshold",
+        ]));
+        assert_eq!(r.event_count(), 1);
+        assert_eq!(r.templates[0], "Temperature <*> exceeds warning threshold");
+    }
+
+    #[test]
+    fn lcs_handles_different_lengths() {
+        // Unlike Drain, Spell can group messages of different token counts.
+        let r = Spell::new().parse_batch(&lines(&[
+            "command failed on node a12 retrying",
+            "command failed on node a12 b17 retrying",
+        ]));
+        assert_eq!(r.event_count(), 1);
+    }
+
+    #[test]
+    fn distinct_events_stay_apart() {
+        let r = Spell::new().parse_batch(&lines(&[
+            "power supply unit nominal",
+            "fan tray removed suddenly now",
+        ]));
+        assert_eq!(r.event_count(), 2);
+    }
+
+    #[test]
+    fn tau_threshold_respected() {
+        // Overlap of exactly 1 token out of 4 (< tau/2) must not merge.
+        let r = Spell::new().parse_batch(&lines(&[
+            "alpha beta gamma delta",
+            "alpha one two three",
+        ]));
+        assert_eq!(r.event_count(), 2);
+    }
+
+    #[test]
+    fn consecutive_gaps_collapse() {
+        let tokens = vec!["a", "x", "y", "b"];
+        let common = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(rebuild_template(&tokens, &common), vec!["a", "<*>", "b"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = Spell::new().parse_batch(&[]);
+        assert_eq!(r.event_count(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared helpers for the baseline parsers.
+//!
+//! All four baselines from Zhu et al. (AEL, IPLoM, Spell, Drain) tokenise by
+//! whitespace and express templates as token sequences where variable
+//! positions are `<*>`.
+
+/// The variable marker used by the LogPAI tooling and the pre-processed
+/// LogHub data.
+pub const WILDCARD: &str = "<*>";
+
+/// Whitespace tokenisation (the baselines' shared tokeniser).
+pub fn tokenize(line: &str) -> Vec<&str> {
+    line.split_whitespace().collect()
+}
+
+/// `true` if the token contains any ASCII digit (Drain's heuristic for
+/// "probably a variable").
+pub fn has_digits(token: &str) -> bool {
+    token.bytes().any(|b| b.is_ascii_digit())
+}
+
+/// Merge a template with a message of the same length: positions that differ
+/// become `<*>`.
+pub fn merge_template(template: &mut Vec<String>, tokens: &[&str]) {
+    debug_assert_eq!(template.len(), tokens.len());
+    for (t, tok) in template.iter_mut().zip(tokens) {
+        if t != tok && t != WILDCARD {
+            *t = WILDCARD.to_string();
+        }
+    }
+}
+
+/// Sequence similarity used by Drain: the fraction of positions where the
+/// template token equals the message token (wildcards never count as equal,
+/// per the published algorithm, so heavily wildcarded groups don't attract
+/// everything).
+pub fn seq_similarity(template: &[String], tokens: &[&str]) -> f64 {
+    if template.is_empty() {
+        return 0.0;
+    }
+    let same = template.iter().zip(tokens).filter(|(t, m)| t.as_str() == **m).count();
+    same as f64 / template.len() as f64
+}
+
+/// Longest common subsequence length (Spell's core measure).
+pub fn lcs_len(a: &[&str], b: &[String]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            cur[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The LCS itself (not just its length), for Spell's template update.
+pub fn lcs_seq(a: &[&str], b: &[String]) -> Vec<String> {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(dp[n][m]);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if a[i - 1] == b[j - 1] {
+            out.push(a[i - 1].to_string());
+            i -= 1;
+            j -= 1;
+        } else if dp[i - 1][j] >= dp[i][j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Render a template token sequence as a single string.
+pub fn render(template: &[String]) -> String {
+    template.join(" ")
+}
+
+/// The result of running a batch parser: one event id per input line, plus
+/// the final template for each event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseResult {
+    /// Event (cluster) assignment for each input line, in input order.
+    pub assignments: Vec<usize>,
+    /// Template text per event id.
+    pub templates: Vec<String>,
+}
+
+impl ParseResult {
+    /// Number of distinct events found.
+    pub fn event_count(&self) -> usize {
+        self.templates.len()
+    }
+}
+
+/// A batch log parser over raw text lines.
+pub trait BatchParser {
+    /// The parser's display name.
+    fn name(&self) -> &'static str;
+    /// Group the lines into events.
+    fn parse_batch(&self, lines: &[String]) -> ParseResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_collapses_whitespace() {
+        assert_eq!(tokenize("a  b\t c"), vec!["a", "b", "c"]);
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn digits() {
+        assert!(has_digits("blk_123"));
+        assert!(!has_digits("word"));
+    }
+
+    #[test]
+    fn merge() {
+        let mut t = vec!["open".to_string(), "file".to_string(), "a.txt".to_string()];
+        merge_template(&mut t, &["open", "file", "b.txt"]);
+        assert_eq!(render(&t), "open file <*>");
+        // Wildcard stays wildcard.
+        merge_template(&mut t, &["open", "file", "a.txt"]);
+        assert_eq!(render(&t), "open file <*>");
+    }
+
+    #[test]
+    fn similarity() {
+        let t = vec!["a".to_string(), WILDCARD.to_string(), "c".to_string()];
+        assert!((seq_similarity(&t, &["a", "b", "c"]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(seq_similarity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn lcs() {
+        let b: Vec<String> = ["x", "a", "y", "b", "z"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lcs_len(&["a", "b"], &b), 2);
+        assert_eq!(lcs_seq(&["a", "q", "b"], &b), vec!["a", "b"]);
+        assert_eq!(lcs_len(&[], &b), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation: the batch-size trade-off the paper discusses when introducing
+//! the stream ingester — "ideally this number represents a good balance
+//! between having enough data to perform the comparison steps of the
+//! analysis and preventing a memory overload caused by too many messages."
+//!
+//! Processes the same 24k-record stream end to end under different batch
+//! sizes and reports the wall time per configuration. Smaller batches bound
+//! trie memory but pay more per-batch overhead and discover more
+//! fragmentary patterns early on; larger batches amortise better.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loghub_synth::{generate_stream, CorpusConfig};
+use sequence_rtg::{LogRecord, Pipeline, RtgConfig, SequenceRtg};
+
+fn stream() -> Vec<LogRecord> {
+    generate_stream(CorpusConfig { services: 60, total: 24_000, seed: 20210906 })
+        .into_iter()
+        .map(|i| LogRecord::new(i.service, i.message))
+        .collect()
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let records = stream();
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for &batch_size in &[1_000usize, 4_000, 12_000, 24_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch_size), &records, |b, records| {
+            b.iter(|| {
+                let config = RtgConfig { batch_size, ..RtgConfig::default() };
+                let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
+                for r in records {
+                    pipeline.push(r.clone(), 0).unwrap();
+                }
+                pipeline.flush(0).unwrap();
+                pipeline.engine_mut().total_known_patterns()
+            })
+        });
+    }
+    group.finish();
+
+    // Consistency check: batching must not lose coverage — every record is
+    // either matched or analysed, for any batch size.
+    for &batch_size in &[1_000usize, 24_000] {
+        let config = RtgConfig { batch_size, ..RtgConfig::default() };
+        let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
+        let mut matched = 0u64;
+        let mut analyzed = 0u64;
+        let mut empty = 0u64;
+        for r in &records {
+            if let Some(rep) = pipeline.push(r.clone(), 0).unwrap() {
+                matched += rep.matched_known;
+                analyzed += rep.analyzed;
+                empty += rep.empty_messages;
+            }
+        }
+        if let Some(rep) = pipeline.flush(0).unwrap() {
+            matched += rep.matched_known;
+            analyzed += rep.analyzed;
+            empty += rep.empty_messages;
+        }
+        assert_eq!(matched + analyzed + empty, records.len() as u64, "batch={batch_size}");
+    }
+}
+
+criterion_group!(benches, bench_batch_size);
+criterion_main!(benches);

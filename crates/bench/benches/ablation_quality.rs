@@ -1,0 +1,61 @@
+//! Ablation: Sequence-RTG's quality control (limitation 4 — "Sequence tends
+//! to add too many variables into patterns. Although the pattern works
+//! correctly, it can result in redundant meta-data enhancing the log message
+//! when it is parsed. Sequence-RTG has to minimise this.")
+//!
+//! Measures analysis time with quality control on and off, and asserts the
+//! quality effect: with quality control, mined patterns carry strictly fewer
+//! variables (less redundant metadata) while covering the same messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loghub_synth::generate;
+use sequence_core::{Analyzer, AnalyzerOptions, Scanner};
+use std::hint::black_box;
+
+fn scanned_corpus() -> Vec<sequence_core::TokenizedMessage> {
+    let scanner = Scanner::new();
+    generate("OpenSSH", 2000, 20210906)
+        .lines
+        .iter()
+        .map(|l| scanner.scan(&l.raw))
+        .collect()
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let corpus = scanned_corpus();
+    let mut group = c.benchmark_group("ablation_quality");
+    group.sample_size(10);
+    group.bench_function("with_quality_control", |b| {
+        let analyzer = Analyzer::new();
+        b.iter(|| black_box(analyzer.analyze(&corpus)))
+    });
+    group.bench_function("seminal_no_quality_control", |b| {
+        let analyzer = Analyzer::with_options(AnalyzerOptions::seminal_sequence());
+        b.iter(|| black_box(analyzer.analyze(&corpus)))
+    });
+    group.finish();
+
+    // Quality assertion: same coverage, fewer variables.
+    let rtg = Analyzer::new().analyze(&corpus);
+    let seminal = Analyzer::with_options(AnalyzerOptions::seminal_sequence()).analyze(&corpus);
+    let covered = |ds: &[sequence_core::analyzer::DiscoveredPattern]| -> u64 {
+        ds.iter().map(|d| d.match_count).sum()
+    };
+    assert_eq!(covered(&rtg), covered(&seminal), "coverage identical");
+    let vars = |ds: &[sequence_core::analyzer::DiscoveredPattern]| -> usize {
+        ds.iter().map(|d| d.pattern.variable_count() * d.match_count as usize).sum()
+    };
+    let (v_rtg, v_seminal) = (vars(&rtg), vars(&seminal));
+    assert!(
+        v_rtg < v_seminal,
+        "quality control reduces per-message variable metadata: {v_rtg} vs {v_seminal}"
+    );
+    println!(
+        "variable captures per message: quality-control {:.2} vs seminal {:.2}",
+        v_rtg as f64 / covered(&rtg) as f64,
+        v_seminal as f64 / covered(&seminal) as f64
+    );
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark regenerating Fig. 5: `Analyze` vs `AnalyzeByService`
+//! processing time over growing multi-service data sets (241 virtual
+//! services, empty pattern database — the paper's worst-case setup).
+//!
+//! Run with `cargo bench -p bench --bench fig5_scaling`. For the full
+//! table-style sweep (larger sizes, wall-clock) use
+//! `cargo run --release -p evalharness --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loghub_synth::{generate_stream, CorpusConfig};
+use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+
+fn records(size: usize) -> Vec<LogRecord> {
+    generate_stream(CorpusConfig { services: 241, total: size, seed: 20210906 })
+        .into_iter()
+        .map(|i| LogRecord::new(i.service, i.message))
+        .collect()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for &size in &[2_000usize, 8_000, 24_000] {
+        let batch = records(size);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("analyze_seminal", size), &batch, |b, batch| {
+            b.iter(|| {
+                let mut rtg = SequenceRtg::in_memory(RtgConfig::seminal());
+                rtg.analyze_all(batch, 0).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("analyze_by_service", size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+                    rtg.analyze_by_service(batch, 0).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze_by_service_parallel4", size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+                    rtg.analyze_by_service_parallel(batch, 0, 4).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmark harness for Fig. 7: times a compact production simulation and
+//! asserts the decay shape (unmatched fraction falls from ~75-80% toward the
+//! noise floor) on every run. The full 60-day series is printed by
+//! `cargo run -p evalharness --bin fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evalharness::production::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn compact() -> SimConfig {
+    SimConfig { days: 10, daily_messages: 2_000, services: 30, review_interval: 2, ..SimConfig::default() }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("simulate_10_days", |b| {
+        b.iter(|| black_box(simulate(compact())))
+    });
+    group.finish();
+
+    let stats = simulate(compact());
+    let first = stats.first().unwrap().unmatched_pct;
+    let last = stats.last().unwrap().unmatched_pct;
+    assert!(first > 50.0, "initial unmatched high: {first}");
+    assert!(last < first, "unmatched decays: {first} -> {last}");
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

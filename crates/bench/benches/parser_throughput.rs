@@ -1,0 +1,52 @@
+//! Micro-benchmark: parser matching throughput against a realistic pattern
+//! set, the operation that runs on *every* production message (Fig. 6: the
+//! pattern database filters the full stream).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use loghub_synth::generate;
+use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    // Learn patterns from one sample, match a fresh sample.
+    let train = generate("OpenSSH", 2000, 1);
+    let test = generate("OpenSSH", 2000, 2);
+    let records: Vec<LogRecord> =
+        train.lines.iter().map(|l| LogRecord::new("OpenSSH", l.raw.as_str())).collect();
+    let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+    rtg.analyze_by_service(&records, 0).unwrap();
+    let sets = rtg.store_mut().load_pattern_sets().unwrap().0;
+    let set = sets["OpenSSH"].clone();
+    let scanner = sequence_core::Scanner::new();
+    let scanned: Vec<_> = test.lines.iter().map(|l| scanner.scan(&l.raw)).collect();
+
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Elements(scanned.len() as u64));
+    group.bench_function("match_against_learned_set", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for msg in &scanned {
+                if set.match_message(black_box(msg)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("scan_and_match", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for l in &test.lines {
+                let msg = scanner.scan(black_box(&l.raw));
+                if set.match_message(&msg).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmark: pattern-store operations (the persistence layer added by
+//! Sequence-RTG, limitation 2). Covers the hot path of a production batch:
+//! id-indexed upserts, match-count updates, and full set reloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patterndb::PatternStore;
+use sequence_core::{Analyzer, Scanner};
+use std::hint::black_box;
+
+fn discoveries(n: usize) -> Vec<sequence_core::analyzer::DiscoveredPattern> {
+    let scanner = Scanner::new();
+    let mut all = Vec::new();
+    for k in 0..n {
+        let msgs: Vec<_> = (0..3)
+            .map(|i| scanner.scan(&format!("event kind {k} instance {i} from 10.0.0.{i} done")))
+            .collect();
+        all.extend(Analyzer::new().analyze(&msgs));
+    }
+    all
+}
+
+fn bench_store(c: &mut Criterion) {
+    let ds = discoveries(200);
+    let mut group = c.benchmark_group("patterndb");
+    group.sample_size(20);
+
+    group.bench_function("upsert_200_patterns", |b| {
+        b.iter(|| {
+            let mut store = PatternStore::in_memory();
+            for d in &ds {
+                store.upsert_discovered("svc", black_box(d), 1).unwrap();
+            }
+            store
+        })
+    });
+
+    // Pre-populated store for update/read benchmarks.
+    let mut store = PatternStore::in_memory();
+    let ids: Vec<String> =
+        ds.iter().map(|d| store.upsert_discovered("svc", d, 1).unwrap().0).collect();
+
+    group.bench_function("record_matches_point_update", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            store.record_matches(black_box(&ids[i]), 1, 2).unwrap();
+        })
+    });
+
+    group.bench_function("load_pattern_sets", |b| {
+        b.iter(|| {
+            let (sets, _) = store.load_pattern_sets().unwrap();
+            black_box(sets.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

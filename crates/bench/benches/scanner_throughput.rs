@@ -1,0 +1,55 @@
+//! Micro-benchmark: single-pass scanner throughput.
+//!
+//! The paper attributes Sequence's speed to its scanner: "thanks to these
+//! state machines, Sequence can process messages in a single pass which
+//! makes it incredibly fast". This bench measures messages/second over a
+//! representative mix (timestamps, IPs, MACs, key/value fields, URLs,
+//! multi-line messages).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use loghub_synth::{generate, DATASET_NAMES};
+use sequence_core::{Scanner, ScannerOptions};
+use std::hint::black_box;
+
+fn corpus() -> Vec<String> {
+    let mut v = Vec::new();
+    for name in DATASET_NAMES {
+        for line in generate(name, 200, 99).lines {
+            v.push(line.raw);
+        }
+    }
+    v
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let messages = corpus();
+    let total_bytes: usize = messages.iter().map(|m| m.len()).sum();
+    let mut group = c.benchmark_group("scanner");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+
+    let default = Scanner::new();
+    group.bench_function("default_options", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for m in &messages {
+                tokens += default.scan(black_box(m)).tokens.len();
+            }
+            tokens
+        })
+    });
+
+    let extended = Scanner::with_options(ScannerOptions::extended());
+    group.bench_function("extended_options", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for m in &messages {
+                tokens += extended.scan(black_box(m)).tokens.len();
+            }
+            tokens
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scanner);
+criterion_main!(benches);

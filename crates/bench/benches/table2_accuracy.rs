@@ -1,0 +1,39 @@
+//! Benchmark harness for Table II: times one full Sequence-RTG
+//! mine-then-parse accuracy run per variant and asserts the headline shape
+//! claims hold on every execution (accuracy itself is printed by
+//! `cargo run -p evalharness --bin table2`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evalharness::runner::{rtg_accuracy, Variant};
+use loghub_synth::generate;
+use sequence_rtg::RtgConfig;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for name in ["OpenSSH", "HDFS", "Proxifier"] {
+        let d = generate(name, 2000, 20210906);
+        group.bench_function(format!("rtg_preprocessed_{name}"), |b| {
+            b.iter(|| black_box(rtg_accuracy(&d, Variant::Preprocessed, RtgConfig::default())))
+        });
+        group.bench_function(format!("rtg_raw_{name}"), |b| {
+            b.iter(|| black_box(rtg_accuracy(&d, Variant::Raw, RtgConfig::default())))
+        });
+    }
+    // Shape checks (cheap, once): the documented failure modes reproduce.
+    let prox = generate("Proxifier", 2000, 20210906);
+    let health = generate("HealthApp", 2000, 20210906);
+    let prox_raw = rtg_accuracy(&prox, Variant::Raw, RtgConfig::default());
+    let health_pre = rtg_accuracy(&health, Variant::Preprocessed, RtgConfig::default());
+    let health_raw = rtg_accuracy(&health, Variant::Raw, RtgConfig::default());
+    assert!(prox_raw < 0.85, "Proxifier raw drop: {prox_raw}");
+    assert!(
+        health_raw < health_pre - 0.1,
+        "HealthApp raw drop: {health_raw} vs {health_pre}"
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

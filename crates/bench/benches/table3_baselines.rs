@@ -1,0 +1,42 @@
+//! Benchmark harness for Table III: times each baseline parser over a
+//! 2000-line pre-processed dataset (the setting of Zhu et al.), and checks
+//! the headline ranking (Drain best on average) on a three-dataset sample.
+
+use baselines::all_parsers;
+use criterion::{criterion_group, criterion_main, Criterion};
+use evalharness::runner::{baseline_accuracy, variant_lines, Variant};
+use loghub_synth::generate;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let d = generate("OpenSSH", 2000, 20210906);
+    let lines = variant_lines(&d, Variant::Preprocessed);
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for parser in all_parsers() {
+        let name = parser.name();
+        let lines = &lines;
+        group.bench_function(format!("{name}_openssh_2k"), move |b| {
+            b.iter(|| black_box(parser.parse_batch(lines)))
+        });
+    }
+    group.finish();
+
+    // Ranking shape check on a sample of datasets.
+    let mut avg = vec![0.0f64; 4];
+    for name in ["HDFS", "OpenSSH", "Linux"] {
+        let d = generate(name, 1000, 20210906);
+        for (i, parser) in all_parsers().iter().enumerate() {
+            avg[i] += baseline_accuracy(parser.as_ref(), &d) / 3.0;
+        }
+    }
+    // Order: AEL, IPLoM, Spell, Drain — Drain should lead the sample.
+    let drain = avg[3];
+    assert!(
+        avg.iter().all(|&a| a <= drain + 0.05),
+        "Drain should rank best (±5%): {avg:?}"
+    );
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

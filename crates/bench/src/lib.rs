@@ -1,0 +1,2 @@
+//! Bench crate: all content lives in `benches/`; see DESIGN.md section 3
+//! for the experiment-to-bench mapping.

@@ -1,0 +1,76 @@
+//! Regenerate Table II: Sequence-RTG parser accuracy on the 16 datasets,
+//! pre-processed and raw, against the best baseline — with the paper's
+//! published numbers alongside.
+
+use evalharness::runner::{baseline_accuracy, paper, rtg_accuracy, Variant};
+use evalharness::{DATASET_LINES, DEFAULT_SEED};
+use loghub_synth::{generate, DATASET_NAMES};
+use sequence_rtg::RtgConfig;
+
+fn main() {
+    println!("Table II — Sequence-RTG parser accuracy (synthetic LogHub stand-ins)");
+    println!("Columns: measured on this corpus | (paper's published values in parentheses)\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}   {:>22}",
+        "Dataset", "Pre-proc", "Raw", "Best*", "paper (pre, raw, best)"
+    );
+    let config = RtgConfig::default();
+    let parsers = baselines::all_parsers();
+    let mut sum_pre = 0.0;
+    let mut sum_raw = 0.0;
+    let mut sum_best = 0.0;
+    for (i, name) in DATASET_NAMES.iter().enumerate() {
+        let d = generate(name, DATASET_LINES, DEFAULT_SEED);
+        let pre = rtg_accuracy(&d, Variant::Preprocessed, config);
+        let raw = rtg_accuracy(&d, Variant::Raw, config);
+        let best = parsers
+            .iter()
+            .map(|p| baseline_accuracy(p.as_ref(), &d))
+            .fold(0.0f64, f64::max);
+        sum_pre += pre;
+        sum_raw += raw;
+        sum_best += best;
+        let (pname, ppre, praw, pbest) = paper::TABLE2[i];
+        debug_assert_eq!(pname, *name);
+        let flag_pre = if pre >= best { "*" } else { " " };
+        println!(
+            "{:<12} {:>11.3}{} {:>12.3} {:>12.3}   ({:.3}, {:.3}, {:.3})",
+            name, pre, flag_pre, raw, best, ppre, praw, pbest
+        );
+    }
+    let n = DATASET_NAMES.len() as f64;
+    let (apre, araw, abest) = paper::TABLE2_AVG;
+    println!(
+        "{:<12} {:>12.3} {:>12.3} {:>12.3}   ({:.3}, {:.3}, {:.3})",
+        "Average",
+        sum_pre / n,
+        sum_raw / n,
+        sum_best / n,
+        apre,
+        araw,
+        abest
+    );
+    println!("\n* Best = best of our four baseline implementations (AEL, IPLoM, Spell, Drain)");
+    println!("  on the pre-processed variant; the paper's Best is the best of 13 parsers.");
+    println!("  A '*' after the pre-processed score marks datasets where Sequence-RTG");
+    println!("  equals or beats the best baseline (the paper reports 8 of 16).");
+
+    // The paper's future-work scanner fixes, validated: allowing
+    // single-digit time parts (and the path FSM) should recover the
+    // HealthApp raw-log failure. Proxifier's integer/literal type flip is a
+    // *different* limitation the scanner fixes do not address — the paper
+    // leaves it open too, and it stays flat here.
+    println!("\nFuture-work scanner fixes on the failing datasets (raw logs):");
+    println!(
+        "{:<12} {:>12} {:>14}   {}",
+        "Dataset", "default", "fixed scanner", "(single-digit time parts + path FSM)"
+    );
+    let mut fixed = RtgConfig::default();
+    fixed.scanner = sequence_core::ScannerOptions::extended();
+    for name in ["HealthApp", "Proxifier"] {
+        let d = generate(name, DATASET_LINES, DEFAULT_SEED);
+        let default = rtg_accuracy(&d, Variant::Raw, RtgConfig::default());
+        let with_fix = rtg_accuracy(&d, Variant::Raw, fixed);
+        println!("{name:<12} {default:>12.3} {with_fix:>14.3}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # evalharness
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! Sequence-RTG paper's evaluation (§IV):
+//!
+//! | Paper artefact | Module / binary |
+//! |---|---|
+//! | Fig. 5 (Analyze vs AnalyzeByService time) | [`perf`], `cargo run --release -p evalharness --bin fig5` |
+//! | Table II (accuracy, pre-processed + raw vs best) | [`runner`], `--bin table2` |
+//! | Table III (AEL / IPLoM / Spell / Drain accuracy) | [`runner`], `--bin table3` |
+//! | Fig. 7 (unmatched-ratio evolution over 60 days) | [`production`], `--bin fig7` |
+//! | §IV in-text production stats (batch runtime, fill time) | `--bin prod_stats` |
+//!
+//! The metric is the strict *group accuracy* of Zhu et al. ([`accuracy`]);
+//! the corpora are the synthetic LogHub stand-ins from `loghub-synth`;
+//! published reference values are embedded in [`runner::paper`] so each
+//! binary prints paper-vs-measured side by side.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod perf;
+pub mod production;
+pub mod runner;
+
+pub use accuracy::{group_accuracy, mapping_accuracy};
+pub use perf::{run_fig5, Fig5Row, DEFAULT_SIZES};
+pub use production::{simulate, DayStats, SimConfig};
+pub use runner::{baseline_accuracy, rtg_accuracy, rtg_assignments, Variant};
+
+/// The number of lines per accuracy dataset (matching LogHub's 2k samples).
+pub const DATASET_LINES: usize = 2000;
+
+/// The seed used by the experiment binaries (fixed for reproducibility).
+pub const DEFAULT_SEED: u64 = 20210906;

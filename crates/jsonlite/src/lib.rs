@@ -1,0 +1,83 @@
+//! # jsonlite
+//!
+//! A small, dependency-free JSON parser and serialiser (RFC 8259).
+//!
+//! Sequence-RTG's data stream ingester expects "each item in the stream
+//! [to be] using a JSON format with only two fields: `service` [...] and the
+//! unaltered log `message`". This crate provides the JSON substrate for that
+//! ingester (and for anything else in the workspace that needs structured
+//! text), standing in for `serde_json`, which is outside the allowed offline
+//! dependency set — see DESIGN.md §2.
+//!
+//! ```
+//! let item = jsonlite::parse(r#"{"service":"sshd","message":"session opened"}"#).unwrap();
+//! assert_eq!(item.get("service").unwrap().as_str(), Some("sshd"));
+//! assert_eq!(jsonlite::parse(&jsonlite::to_string(&item)).unwrap(), item);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod ser;
+pub mod value;
+
+pub use parse::{parse, ErrorKind, ParseError};
+pub use ser::{to_string, to_string_pretty};
+pub use value::{object, Value};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            // Finite numbers only (JSON cannot express NaN/Inf).
+            (-1.0e12f64..1.0e12).prop_map(Value::Number),
+            any::<i32>().prop_map(|n| Value::Number(n as f64)),
+            "[a-zA-Z0-9 _%/.:=\\-]{0,24}".prop_map(Value::String),
+            // Strings with escapes and non-ASCII.
+            any::<String>().prop_map(Value::String),
+        ];
+        leaf.prop_recursive(4, 32, 8, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Serialise → parse is the identity for every finite value.
+        #[test]
+        fn round_trip(v in arb_value()) {
+            let s = to_string(&v);
+            let back = parse(&s).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        /// Pretty output parses back to the same value.
+        #[test]
+        fn pretty_round_trip(v in arb_value()) {
+            let back = parse(&to_string_pretty(&v)).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total(s in any::<String>()) {
+            let _ = parse(&s);
+        }
+
+        /// Parsing arbitrary bytes-as-string input either fails or yields a
+        /// value that round-trips.
+        #[test]
+        fn parse_then_round_trip(s in "[ -~]{0,64}") {
+            if let Ok(v) = parse(&s) {
+                prop_assert_eq!(parse(&to_string(&v)).unwrap(), v);
+            }
+        }
+    }
+}

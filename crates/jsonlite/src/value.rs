@@ -1,0 +1,157 @@
+//! The JSON value model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order via `BTreeMap` (sorted); the Sequence-RTG
+/// stream format only has two fields (`service`, `message`), so ordering is
+/// irrelevant to consumers but determinism helps testing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number. Stored as `f64`; integers up to 2^53 round-trip.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is a number with an exact integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field access: `value.get("service")`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// `true` if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self))
+    }
+}
+
+/// Build a JSON object from `(key, value)` pairs.
+pub fn object<K: Into<String>, V: Into<Value>>(pairs: impl IntoIterator<Item = (K, V)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = object([("a", Value::from(1i64)), ("b", Value::from("x")), ("c", Value::Bool(true))]);
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert!(v.get("d").is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn as_i64_rejects_fractions() {
+        assert_eq!(Value::Number(1.5).as_i64(), None);
+        assert_eq!(Value::Number(-3.0).as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn type_mismatches_return_none() {
+        assert_eq!(Value::Null.as_str(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::String("x".into()).as_array(), None);
+        assert_eq!(Value::Array(vec![]).as_object(), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! The multi-service production stream used by the Fig. 5 performance
+//! experiment and the Fig. 7 production simulation.
+//!
+//! The paper's Fig. 5 datasets "contained an average of 241 unique services".
+//! This generator synthesises such a composite stream: each virtual service
+//! is a clone of one of the sixteen base template sets, with its own name and
+//! seed, so the stream mixes hundreds of token-count/shape distributions the
+//! way a centralised syslog-ng feed does.
+
+use crate::datasets::{generate, DATASET_NAMES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One stream item (mirrors `sequence_rtg::LogRecord` without the
+/// dependency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamItem {
+    /// Virtual service name (`svc-042-HDFS`).
+    pub service: String,
+    /// The raw message.
+    pub message: String,
+    /// Ground-truth event id, scoped to the service.
+    pub event: String,
+}
+
+/// Configuration for the composite stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Number of virtual services (the paper's Fig. 5 averages 241).
+    pub services: usize,
+    /// Total number of stream items.
+    pub total: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { services: 241, total: 100_000, seed: 1 }
+    }
+}
+
+/// Generate the composite stream. Items are interleaved across services in a
+/// deterministic shuffled order, like a centralised collector output.
+pub fn generate_stream(config: CorpusConfig) -> Vec<StreamItem> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Per-service volume: Zipf-ish weights so a few services dominate, as in
+    // real data centres.
+    let mut weights = Vec::with_capacity(config.services);
+    for s in 0..config.services {
+        weights.push(1.0 / (1.0 + s as f64).powf(0.8));
+    }
+    let wsum: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> =
+        weights.iter().map(|w| ((w / wsum) * config.total as f64).floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    for i in 0..config.total - assigned {
+        counts[i % config.services] += 1;
+    }
+
+    let mut out = Vec::with_capacity(config.total);
+    for (si, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let base = DATASET_NAMES[si % DATASET_NAMES.len()];
+        let service = format!("svc-{si:03}-{base}");
+        let d = generate(base, count, config.seed.wrapping_add(si as u64 * 7919));
+        for line in d.lines {
+            out.push(StreamItem { service: service.clone(), message: line.raw, event: line.event });
+        }
+    }
+    // Deterministic interleave (Fisher–Yates with the seeded RNG).
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Serialise a stream to the Sequence-RTG JSON-lines input format.
+pub fn to_json_lines(items: &[StreamItem]) -> String {
+    let mut s = String::new();
+    for item in items {
+        s.push_str(&jsonlite::to_string(&jsonlite::object([
+            ("service", item.service.as_str()),
+            ("message", item.message.as_str()),
+        ])));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_has_requested_shape() {
+        let items = generate_stream(CorpusConfig { services: 50, total: 5_000, seed: 3 });
+        assert_eq!(items.len(), 5_000);
+        let services: HashSet<&str> = items.iter().map(|i| i.service.as_str()).collect();
+        assert!(services.len() >= 45, "most services appear: {}", services.len());
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let items = generate_stream(CorpusConfig { services: 50, total: 10_000, seed: 3 });
+        let head = items.iter().filter(|i| i.service.starts_with("svc-000-")).count();
+        let tail = items.iter().filter(|i| i.service.starts_with("svc-049-")).count();
+        assert!(head > tail * 3, "zipf skew: head={head} tail={tail}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CorpusConfig { services: 20, total: 1_000, seed: 9 };
+        assert_eq!(generate_stream(cfg), generate_stream(cfg));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let items = generate_stream(CorpusConfig { services: 5, total: 50, seed: 2 });
+        let text = to_json_lines(&items);
+        let mut n = 0;
+        for line in text.lines() {
+            let v = jsonlite::parse(line).unwrap();
+            assert!(v.get("service").is_some() && v.get("message").is_some());
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn default_matches_paper_service_count() {
+        assert_eq!(CorpusConfig::default().services, 241);
+    }
+}

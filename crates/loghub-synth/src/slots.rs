@@ -1,0 +1,399 @@
+//! The slot-template engine behind the synthetic corpora.
+//!
+//! Event templates are strings with `<slot>` placeholders, e.g.
+//!
+//! ```text
+//! Accepted password for <user> from <ip> port <port> ssh2
+//! ```
+//!
+//! Each slot kind knows how to generate a random value and whether the
+//! LogHub-style *pre-processing* (Zhu et al.'s regex masking of "common
+//! fields such as IP address, datetime") would replace it with `<*>`.
+//! Word-like fields (user names, host names, enumerated states) are not
+//! masked, exactly like the real pre-processed data.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One parsed element of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatePart {
+    /// Verbatim text.
+    Literal(String),
+    /// A value slot.
+    Slot(SlotKind),
+}
+
+/// The supported slot kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Random integer 0..100000. Masked.
+    Int,
+    /// Small integer 0..16. Masked.
+    SmallInt,
+    /// TCP port 1024..65535. Masked.
+    Port,
+    /// Process id 100..32768. Masked.
+    Pid,
+    /// Large byte count. Masked.
+    Size,
+    /// Decimal 0.00..1000.00. Masked.
+    Float,
+    /// Dotted-quad IPv4. Masked.
+    Ip,
+    /// `ip:port`. Masked.
+    IpPort,
+    /// `/ip` with leading slash (HDFS style). Masked.
+    SlashIp,
+    /// Hex identifier of 8–16 digits. Masked.
+    Hex,
+    /// MAC address. Masked.
+    Mac,
+    /// HDFS block id `blk_<digits>` (sometimes negative). Masked.
+    Blk,
+    /// Duration like `35ms`. Masked.
+    Duration,
+    /// Numeric uid. Masked.
+    Uid,
+    /// Proxifier-style flip: integer, or integer followed by `*`
+    /// (the paper: "entries of 64 or 64* for the same position"). Masked.
+    IntStar,
+    /// User name from a fixed pool. NOT masked.
+    User,
+    /// Host name from a fixed pool. NOT masked.
+    Host,
+    /// Filesystem path assembled from component pools. NOT masked (no
+    /// common regex covers paths — the paper lists paths as a limitation).
+    Path,
+    /// URL. NOT masked.
+    Url,
+    /// Version string `x.y.z`. Masked (numeric regex catches it in the real
+    /// pre-processing).
+    Ver,
+    /// One of an enumerated set of values — the *semi-constant* case. NOT
+    /// masked.
+    Choice(Vec<String>),
+    /// A random lowercase word. NOT masked.
+    Word,
+}
+
+impl SlotKind {
+    /// Would the LogHub pre-processing replace this value with `<*>`?
+    pub fn masked(&self) -> bool {
+        !matches!(
+            self,
+            SlotKind::User
+                | SlotKind::Host
+                | SlotKind::Path
+                | SlotKind::Url
+                | SlotKind::Choice(_)
+                | SlotKind::Word
+        )
+    }
+
+    /// Generate one value.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        match self {
+            SlotKind::Int => rng.gen_range(0..100_000).to_string(),
+            SlotKind::SmallInt => rng.gen_range(0..16).to_string(),
+            SlotKind::Port => rng.gen_range(1024..65536).to_string(),
+            SlotKind::Pid => rng.gen_range(100..32768).to_string(),
+            SlotKind::Size => rng.gen_range(1_000..2_000_000_000u64).to_string(),
+            SlotKind::Float => format!("{:.2}", rng.gen_range(0.0..1000.0)),
+            SlotKind::Ip => format!(
+                "{}.{}.{}.{}",
+                rng.gen_range(1..240),
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+                rng.gen_range(1..255)
+            ),
+            SlotKind::IpPort => format!(
+                "{}:{}",
+                SlotKind::Ip.generate(rng),
+                rng.gen_range(1024..65536)
+            ),
+            SlotKind::SlashIp => format!("/{}", SlotKind::Ip.generate(rng)),
+            SlotKind::Hex => {
+                let len = 8 + 2 * rng.gen_range(0..5usize);
+                let mut s = String::with_capacity(len);
+                // Guarantee at least one digit and one letter so the
+                // Sequence hex FSM recognises it.
+                s.push(char::from(b'0' + rng.gen_range(0..10u8)));
+                s.push(char::from(b'a' + rng.gen_range(0..6u8)));
+                for _ in 2..len {
+                    let v = rng.gen_range(0..16u8);
+                    s.push(char::from_digit(v as u32, 16).unwrap());
+                }
+                s
+            }
+            SlotKind::Mac => {
+                let mut parts = Vec::with_capacity(6);
+                for _ in 0..6 {
+                    parts.push(format!("{:02x}", rng.gen_range(0..256)));
+                }
+                parts.join(":")
+            }
+            SlotKind::Blk => {
+                let sign = if rng.gen_bool(0.3) { "-" } else { "" };
+                format!("blk_{sign}{}", rng.gen_range(1_000_000_000u64..9_999_999_999_999u64))
+            }
+            SlotKind::Duration => format!("{}ms", rng.gen_range(1..90_000)),
+            SlotKind::Uid => rng.gen_range(0..60_000).to_string(),
+            SlotKind::IntStar => {
+                let n = rng.gen_range(16..8192);
+                if rng.gen_bool(0.5) {
+                    format!("{n}*")
+                } else {
+                    n.to_string()
+                }
+            }
+            SlotKind::User => pick(rng, USERS).to_string(),
+            SlotKind::Host => {
+                format!("{}{:02}", pick(rng, HOST_PREFIXES), rng.gen_range(0..40))
+            }
+            SlotKind::Path => {
+                let depth = rng.gen_range(2..5usize);
+                let mut p = String::new();
+                for _ in 0..depth {
+                    p.push('/');
+                    p.push_str(pick(rng, PATH_COMPONENTS));
+                }
+                if rng.gen_bool(0.5) {
+                    p.push('.');
+                    p.push_str(pick(rng, PATH_EXTS));
+                }
+                p
+            }
+            SlotKind::Url => format!(
+                "https://{}{:02}.example.org/{}?id={}",
+                pick(rng, HOST_PREFIXES),
+                rng.gen_range(0..40),
+                pick(rng, PATH_COMPONENTS),
+                rng.gen_range(0..10_000)
+            ),
+            SlotKind::Ver => format!(
+                "{}.{}.{}",
+                rng.gen_range(0..5),
+                rng.gen_range(0..20),
+                rng.gen_range(0..40)
+            ),
+            SlotKind::Choice(options) => options[rng.gen_range(0..options.len())].clone(),
+            SlotKind::Word => pick(rng, WORDS).to_string(),
+        }
+    }
+
+    /// Parse a slot spec (the text between `<` and `>`).
+    pub fn parse(spec: &str) -> Option<SlotKind> {
+        if let Some(rest) = spec.strip_prefix("choice:") {
+            let options: Vec<String> = rest.split('|').map(|s| s.to_string()).collect();
+            if options.is_empty() {
+                return None;
+            }
+            return Some(SlotKind::Choice(options));
+        }
+        Some(match spec {
+            "int" => SlotKind::Int,
+            "smallint" => SlotKind::SmallInt,
+            "port" => SlotKind::Port,
+            "pid" => SlotKind::Pid,
+            "size" => SlotKind::Size,
+            "float" => SlotKind::Float,
+            "ip" => SlotKind::Ip,
+            "ipport" => SlotKind::IpPort,
+            "slaship" => SlotKind::SlashIp,
+            "hex" => SlotKind::Hex,
+            "mac" => SlotKind::Mac,
+            "blk" => SlotKind::Blk,
+            "duration" => SlotKind::Duration,
+            "uid" => SlotKind::Uid,
+            "intstar" => SlotKind::IntStar,
+            "user" => SlotKind::User,
+            "host" => SlotKind::Host,
+            "path" => SlotKind::Path,
+            "url" => SlotKind::Url,
+            "ver" => SlotKind::Ver,
+            "word" => SlotKind::Word,
+            _ => return None,
+        })
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+const USERS: &[&str] = &[
+    "root", "admin", "guest", "alice", "bob", "carol", "deploy", "www", "backup", "postgres",
+    "oracle", "test", "jenkins", "nagios",
+];
+const HOST_PREFIXES: &[&str] = &["node", "worker", "db", "cache", "edge", "compute", "login"];
+const PATH_COMPONENTS: &[&str] = &[
+    "var", "log", "data", "tmp", "opt", "usr", "srv", "home", "etc", "spool", "cache", "lib",
+    "jobs", "scratch", "blocks",
+];
+const PATH_EXTS: &[&str] = &["log", "txt", "dat", "conf", "tmp", "jar"];
+const WORDS: &[&str] = &[
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
+    "kilo", "lima",
+];
+
+/// Parse a template string into parts. Unknown slots are kept as literals
+/// (so authoring typos fail loudly in tests rather than silently).
+pub fn parse_template(template: &str) -> Vec<TemplatePart> {
+    let mut parts = Vec::new();
+    let mut rest = template;
+    while let Some(open) = rest.find('<') {
+        let close = match rest[open..].find('>') {
+            Some(c) => open + c,
+            None => break,
+        };
+        let spec = &rest[open + 1..close];
+        match SlotKind::parse(spec) {
+            Some(slot) => {
+                if open > 0 {
+                    parts.push(TemplatePart::Literal(rest[..open].to_string()));
+                }
+                parts.push(TemplatePart::Slot(slot));
+                rest = &rest[close + 1..];
+            }
+            None => {
+                // Not a slot (e.g. literal `<*>` or `<errors>`); keep the
+                // `<` and continue after it.
+                parts.push(TemplatePart::Literal(rest[..open + 1].to_string()));
+                rest = &rest[open + 1..];
+            }
+        }
+    }
+    if !rest.is_empty() {
+        parts.push(TemplatePart::Literal(rest.to_string()));
+    }
+    parts
+}
+
+/// Instantiate a template: `(raw content, pre-processed content)`.
+pub fn instantiate(parts: &[TemplatePart], rng: &mut StdRng) -> (String, String) {
+    let mut raw = String::new();
+    let mut pre = String::new();
+    for p in parts {
+        match p {
+            TemplatePart::Literal(t) => {
+                raw.push_str(t);
+                pre.push_str(t);
+            }
+            TemplatePart::Slot(slot) => {
+                let v = slot.generate(rng);
+                raw.push_str(&v);
+                if slot.masked() {
+                    // LogHub masking is regex-based on the *digits*: the `*`
+                    // decoration of Proxifier's `64*` values survives
+                    // pre-processing (`<*>*`), which is why the paper's
+                    // Proxifier accuracy drops even on pre-processed data.
+                    if matches!(slot, SlotKind::IntStar) && v.ends_with('*') {
+                        pre.push_str("<*>*");
+                    } else {
+                        pre.push_str("<*>");
+                    }
+                } else {
+                    pre.push_str(&v);
+                }
+            }
+        }
+    }
+    (raw, pre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn parse_and_instantiate() {
+        let parts = parse_template("Accepted password for <user> from <ip> port <port> ssh2");
+        assert_eq!(parts.len(), 7);
+        let (raw, pre) = instantiate(&parts, &mut rng());
+        assert!(raw.starts_with("Accepted password for "));
+        assert!(raw.ends_with(" ssh2"));
+        // IP and port masked, user not.
+        assert_eq!(pre.matches("<*>").count(), 2);
+    }
+
+    #[test]
+    fn unknown_slot_stays_literal() {
+        let parts = parse_template("found <errors> in <int> files");
+        let (raw, _) = instantiate(&parts, &mut rng());
+        assert!(raw.contains("<errors>"));
+        assert!(!raw.contains("<int>"));
+    }
+
+    #[test]
+    fn choice_slot() {
+        let parts = parse_template("link <choice:up|down> on eth0");
+        let mut seen = std::collections::HashSet::new();
+        let mut r = rng();
+        for _ in 0..50 {
+            let (raw, pre) = instantiate(&parts, &mut r);
+            assert!(raw.contains("up") || raw.contains("down"));
+            assert_eq!(raw, pre, "choice values are not masked");
+            seen.insert(raw);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn generated_values_have_expected_shapes() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let ip = SlotKind::Ip.generate(&mut r);
+            assert_eq!(ip.split('.').count(), 4);
+            let mac = SlotKind::Mac.generate(&mut r);
+            assert_eq!(mac.split(':').count(), 6);
+            let blk = SlotKind::Blk.generate(&mut r);
+            assert!(blk.starts_with("blk_"));
+            let hex = SlotKind::Hex.generate(&mut r);
+            assert!(hex.len() >= 8 && hex.bytes().all(|b| b.is_ascii_hexdigit()));
+            let path = SlotKind::Path.generate(&mut r);
+            assert!(path.starts_with('/'));
+        }
+    }
+
+    #[test]
+    fn intstar_flips() {
+        let mut r = rng();
+        let mut star = 0;
+        let mut plain = 0;
+        for _ in 0..100 {
+            if SlotKind::IntStar.generate(&mut r).ends_with('*') {
+                star += 1;
+            } else {
+                plain += 1;
+            }
+        }
+        assert!(star > 20 && plain > 20, "both variants occur: {star}/{plain}");
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let parts = parse_template("x <int> y <ip> z <hex>");
+        let a = instantiate(&parts, &mut StdRng::seed_from_u64(99));
+        let b = instantiate(&parts, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_named_slot_parses() {
+        for name in [
+            "int", "smallint", "port", "pid", "size", "float", "ip", "ipport", "slaship", "hex",
+            "mac", "blk", "duration", "uid", "intstar", "user", "host", "path", "url", "ver",
+            "word",
+        ] {
+            assert!(SlotKind::parse(name).is_some(), "{name}");
+        }
+        assert!(SlotKind::parse("choice:a|b").is_some());
+        assert!(SlotKind::parse("bogus").is_none());
+    }
+}

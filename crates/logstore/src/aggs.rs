@@ -1,0 +1,216 @@
+//! Aggregations over the log store — the data behind the dashboards.
+//!
+//! The paper's workflow ends with the stored stream being "transformed into
+//! comprehensive graphs" (Kibana / Grafana on top of Elasticsearch). These
+//! aggregations produce exactly the series those dashboards draw: counts per
+//! time bucket, top services / patterns, and the matched-vs-unmatched split
+//! that Fig. 7 tracks.
+
+use crate::index::{InvertedIndex, LogEntry};
+use crate::query::{search, Query};
+use std::collections::HashMap;
+
+/// A date-histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeBucket {
+    /// Inclusive bucket start (unix seconds, aligned to the interval).
+    pub start: u64,
+    /// Documents in the bucket.
+    pub count: u64,
+    /// Of which: matched to a pattern.
+    pub matched: u64,
+}
+
+/// Count documents per fixed time interval. Buckets are aligned to
+/// `interval` and returned in order; empty buckets between the first and
+/// last are included (dashboards need the gaps).
+pub fn date_histogram(index: &InvertedIndex, query: &Query, interval: u64) -> Vec<TimeBucket> {
+    let interval = interval.max(1);
+    let hits = search(index, query);
+    if hits.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for h in &hits {
+        let bucket = h.timestamp - h.timestamp % interval;
+        let slot = counts.entry(bucket).or_insert((0, 0));
+        slot.0 += 1;
+        if h.pattern_id.is_some() {
+            slot.1 += 1;
+        }
+        min = min.min(bucket);
+        max = max.max(bucket);
+    }
+    let mut out = Vec::new();
+    let mut b = min;
+    while b <= max {
+        let (count, matched) = counts.get(&b).copied().unwrap_or((0, 0));
+        out.push(TimeBucket { start: b, count, matched });
+        b += interval;
+    }
+    out
+}
+
+/// A term with its document count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermCount {
+    /// The term (service name, pattern id, or field value).
+    pub term: String,
+    /// Documents carrying it.
+    pub count: u64,
+}
+
+fn top_of(mut counts: HashMap<String, u64>, n: usize) -> Vec<TermCount> {
+    let mut v: Vec<TermCount> =
+        counts.drain().map(|(term, count)| TermCount { term, count }).collect();
+    v.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.term.cmp(&b.term)));
+    v.truncate(n);
+    v
+}
+
+/// Top services by document count among the query's hits.
+pub fn top_services(index: &InvertedIndex, query: &Query, n: usize) -> Vec<TermCount> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for h in search(index, query) {
+        *counts.entry(h.service.clone()).or_insert(0) += 1;
+    }
+    top_of(counts, n)
+}
+
+/// Top matched patterns by document count among the query's hits.
+pub fn top_patterns(index: &InvertedIndex, query: &Query, n: usize) -> Vec<TermCount> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for h in search(index, query) {
+        if let Some(pid) = &h.pattern_id {
+            *counts.entry(pid.clone()).or_insert(0) += 1;
+        }
+    }
+    top_of(counts, n)
+}
+
+/// Top values of one extracted field (e.g. the most frequent `srcip` — the
+/// bread-and-butter security dashboard).
+pub fn top_field_values(
+    index: &InvertedIndex,
+    query: &Query,
+    field: &str,
+    n: usize,
+) -> Vec<TermCount> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for h in search(index, query) {
+        for (name, value) in &h.fields {
+            if name == field {
+                *counts.entry(value.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    top_of(counts, n)
+}
+
+/// The matched / unmatched split over the query's hits (the Fig. 7 ratio,
+/// computable for any slice of the store).
+pub fn match_split(index: &InvertedIndex, query: &Query) -> (u64, u64) {
+    let mut matched = 0;
+    let mut unmatched = 0;
+    for h in search(index, query) {
+        if h.pattern_id.is_some() {
+            matched += 1;
+        } else {
+            unmatched += 1;
+        }
+    }
+    (matched, unmatched)
+}
+
+/// Pull the raw entries of one pattern (drill-down from a dashboard tile).
+pub fn drill_down<'a>(index: &'a InvertedIndex, pattern_id: &str) -> Vec<&'a LogEntry> {
+    index.pattern_postings(pattern_id).iter().filter_map(|&id| index.get(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        // Two services, timestamps spanning 300 seconds, some matched.
+        for i in 0..30u64 {
+            let svc = if i % 3 == 0 { "nginx" } else { "sshd" };
+            let pid = if i % 2 == 0 { Some("pat-even".to_string()) } else { None };
+            let fields = if pid.is_some() {
+                vec![("srcip".to_string(), format!("10.0.0.{}", i % 4))]
+            } else {
+                vec![]
+            };
+            idx.ingest(svc, 1000 + i * 10, &format!("event number {i}"), pid, fields);
+        }
+        idx
+    }
+
+    #[test]
+    fn histogram_buckets_align_and_fill() {
+        let idx = index();
+        let buckets = date_histogram(&idx, &Query::default(), 60);
+        assert_eq!(buckets[0].start, 960); // 1000 aligned down to 60s
+        // Buckets are contiguous.
+        for w in buckets.windows(2) {
+            assert_eq!(w[1].start - w[0].start, 60);
+        }
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 30);
+        let matched: u64 = buckets.iter().map(|b| b.matched).sum();
+        assert_eq!(matched, 15);
+    }
+
+    #[test]
+    fn histogram_respects_query() {
+        let idx = index();
+        let buckets = date_histogram(&idx, &Query::parse("service:nginx"), 1000);
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let idx = InvertedIndex::new();
+        assert!(date_histogram(&idx, &Query::default(), 60).is_empty());
+    }
+
+    #[test]
+    fn top_services_and_patterns() {
+        let idx = index();
+        let services = top_services(&idx, &Query::default(), 10);
+        assert_eq!(services[0].term, "sshd");
+        assert_eq!(services[0].count, 20);
+        assert_eq!(services[1], TermCount { term: "nginx".into(), count: 10 });
+        let patterns = top_patterns(&idx, &Query::default(), 10);
+        assert_eq!(patterns, vec![TermCount { term: "pat-even".into(), count: 15 }]);
+    }
+
+    #[test]
+    fn top_field_values_counts() {
+        let idx = index();
+        let ips = top_field_values(&idx, &Query::default(), "srcip", 2);
+        assert_eq!(ips.len(), 2);
+        assert!(ips[0].count >= ips[1].count);
+        assert!(ips[0].term.starts_with("10.0.0."));
+    }
+
+    #[test]
+    fn match_split_ratio() {
+        let idx = index();
+        assert_eq!(match_split(&idx, &Query::default()), (15, 15));
+        let (m, u) = match_split(&idx, &Query::parse("pattern:pat-even"));
+        assert_eq!((m, u), (15, 0));
+    }
+
+    #[test]
+    fn drill_down_returns_pattern_docs() {
+        let idx = index();
+        let docs = drill_down(&idx, "pat-even");
+        assert_eq!(docs.len(), 15);
+        assert!(docs.iter().all(|d| d.pattern_id.as_deref() == Some("pat-even")));
+    }
+}

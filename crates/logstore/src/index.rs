@@ -1,0 +1,241 @@
+//! The inverted index over stored log entries.
+//!
+//! In the paper's workflow, both matched and unmatched messages end up in
+//! Elasticsearch for "searching, filtering, and data analysis". This module
+//! is that destination's core mechanism: a term → postings-list inverted
+//! index over the message text, plus keyword indexes over the structured
+//! metadata (service, pattern id, extracted fields).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A stored log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Document id (assigned at ingest, dense from 0).
+    pub id: u64,
+    /// Source service.
+    pub service: String,
+    /// Ingest timestamp (unix seconds).
+    pub timestamp: u64,
+    /// The raw message.
+    pub message: String,
+    /// The matched pattern id, when the pattern database recognised the
+    /// message (`None` = the "unknown" messages of the paper's Fig. 1).
+    pub pattern_id: Option<String>,
+    /// Variable captures extracted by the pattern match — "a small amount of
+    /// information [...] extracted from the message which is passed with the
+    /// message to be stored".
+    pub fields: Vec<(String, String)>,
+}
+
+/// Split message text into lower-cased index terms: runs of alphanumerics
+/// plus `._-/:` (so IPs, paths and ids stay whole).
+pub fn index_terms(text: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '/' | ':') {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            terms.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        terms.push(current);
+    }
+    terms
+}
+
+/// The index: documents plus postings.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    docs: Vec<LogEntry>,
+    /// term → sorted doc ids (deduplicated).
+    postings: HashMap<String, Vec<u64>>,
+    /// service → sorted doc ids.
+    by_service: BTreeMap<String, Vec<u64>>,
+    /// pattern id → sorted doc ids.
+    by_pattern: HashMap<String, Vec<u64>>,
+    /// field name → value → sorted doc ids.
+    by_field: HashMap<String, HashMap<String, Vec<u64>>>,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Ingest one entry, assigning its document id.
+    pub fn ingest(
+        &mut self,
+        service: &str,
+        timestamp: u64,
+        message: &str,
+        pattern_id: Option<String>,
+        fields: Vec<(String, String)>,
+    ) -> u64 {
+        let id = self.docs.len() as u64;
+        for term in index_terms(message) {
+            let posting = self.postings.entry(term).or_default();
+            if posting.last() != Some(&id) {
+                posting.push(id);
+            }
+        }
+        self.by_service.entry(service.to_string()).or_default().push(id);
+        if let Some(pid) = &pattern_id {
+            self.by_pattern.entry(pid.clone()).or_default().push(id);
+        }
+        for (name, value) in &fields {
+            self.by_field
+                .entry(name.clone())
+                .or_default()
+                .entry(value.clone())
+                .or_default()
+                .push(id);
+        }
+        self.docs.push(LogEntry {
+            id,
+            service: service.to_string(),
+            timestamp,
+            message: message.to_string(),
+            pattern_id,
+            fields,
+        });
+        id
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: u64) -> Option<&LogEntry> {
+        self.docs.get(id as usize)
+    }
+
+    /// Postings for one message term (empty slice when absent).
+    pub fn term_postings(&self, term: &str) -> &[u64] {
+        self.postings.get(&term.to_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Doc ids for a service.
+    pub fn service_postings(&self, service: &str) -> &[u64] {
+        self.by_service.get(service).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Doc ids for a pattern id.
+    pub fn pattern_postings(&self, pattern_id: &str) -> &[u64] {
+        self.by_pattern.get(pattern_id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Doc ids for an extracted field value.
+    pub fn field_postings(&self, name: &str, value: &str) -> &[u64] {
+        self.by_field
+            .get(name)
+            .and_then(|m| m.get(value))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All stored docs, in ingest order.
+    pub fn docs(&self) -> &[LogEntry] {
+        &self.docs
+    }
+
+    /// Distinct services, sorted.
+    pub fn services(&self) -> Vec<&str> {
+        self.by_service.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Intersect several sorted posting lists.
+    pub fn intersect(lists: &[&[u64]]) -> Vec<u64> {
+        match lists.len() {
+            0 => Vec::new(),
+            1 => lists[0].to_vec(),
+            _ => {
+                let mut acc: Vec<u64> = lists[0].to_vec();
+                for list in &lists[1..] {
+                    let mut out = Vec::new();
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < acc.len() && j < list.len() {
+                        match acc[i].cmp(&list[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                out.push(acc[i]);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    acc = out;
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_keep_ips_paths_ids_whole() {
+        assert_eq!(
+            index_terms("Accepted from 10.0.0.7 port 22, file /var/log/x.log (pid=99)"),
+            vec![
+                "accepted", "from", "10.0.0.7", "port", "22", "file", "/var/log/x.log", "pid",
+                "99"
+            ]
+        );
+    }
+
+    #[test]
+    fn ingest_and_lookup() {
+        let mut idx = InvertedIndex::new();
+        let a = idx.ingest("sshd", 100, "Accepted password for root", None, vec![]);
+        let b = idx.ingest(
+            "sshd",
+            101,
+            "Failed password for guest",
+            Some("p1".into()),
+            vec![("user".into(), "guest".into())],
+        );
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.term_postings("password"), &[a, b]);
+        assert_eq!(idx.term_postings("FAILED"), &[b]);
+        assert_eq!(idx.service_postings("sshd"), &[a, b]);
+        assert_eq!(idx.pattern_postings("p1"), &[b]);
+        assert_eq!(idx.field_postings("user", "guest"), &[b]);
+        assert!(idx.term_postings("absent").is_empty());
+        assert_eq!(idx.get(b).unwrap().timestamp, 101);
+    }
+
+    #[test]
+    fn duplicate_terms_index_once_per_doc() {
+        let mut idx = InvertedIndex::new();
+        let a = idx.ingest("x", 1, "ping ping ping", None, vec![]);
+        assert_eq!(idx.term_postings("ping"), &[a]);
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(
+            InvertedIndex::intersect(&[&[1, 3, 5, 7], &[2, 3, 5, 9], &[3, 5]]),
+            vec![3, 5]
+        );
+        assert!(InvertedIndex::intersect(&[&[1, 2], &[3]]).is_empty());
+        assert!(InvertedIndex::intersect(&[]).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! A small query language over the log store, in the spirit of the searches
+//! administrators run in Kibana: free terms AND together, with keyword
+//! filters.
+//!
+//! ```text
+//! failed password service:sshd
+//! pattern:2908692b user:root after:1000 before:2000
+//! ```
+//!
+//! * bare words — message terms (all must match);
+//! * `service:<name>` — source service filter;
+//! * `pattern:<id-prefix>` — matched pattern id (prefix match, like short
+//!   hashes);
+//! * `<field>:<value>` — an extracted variable capture;
+//! * `after:<ts>` / `before:<ts>` — inclusive time bounds.
+
+use crate::index::{InvertedIndex, LogEntry};
+
+/// A parsed query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Query {
+    /// Message terms (ANDed).
+    pub terms: Vec<String>,
+    /// Service filter.
+    pub service: Option<String>,
+    /// Pattern id prefix filter.
+    pub pattern_prefix: Option<String>,
+    /// Field equality filters.
+    pub fields: Vec<(String, String)>,
+    /// Inclusive lower time bound.
+    pub after: Option<u64>,
+    /// Inclusive upper time bound.
+    pub before: Option<u64>,
+}
+
+impl Query {
+    /// Parse the query string (never fails; unrecognised syntax is treated
+    /// as a term, like search boxes do).
+    pub fn parse(input: &str) -> Query {
+        let mut q = Query::default();
+        for token in input.split_whitespace() {
+            match token.split_once(':') {
+                Some(("service", v)) => q.service = Some(v.to_string()),
+                Some(("pattern", v)) => q.pattern_prefix = Some(v.to_string()),
+                Some(("after", v)) => q.after = v.parse().ok(),
+                Some(("before", v)) => q.before = v.parse().ok(),
+                Some((name, v)) if !name.is_empty() && !v.is_empty() => {
+                    q.fields.push((name.to_string(), v.to_string()))
+                }
+                _ => q.terms.push(token.to_lowercase()),
+            }
+        }
+        q
+    }
+}
+
+/// Execute a query, returning matching entries in ingest order.
+pub fn search<'a>(index: &'a InvertedIndex, query: &Query) -> Vec<&'a LogEntry> {
+    // Gather the posting lists for the AND.
+    let mut lists: Vec<&[u64]> = Vec::new();
+    for t in &query.terms {
+        lists.push(index.term_postings(t));
+    }
+    if let Some(s) = &query.service {
+        lists.push(index.service_postings(s));
+    }
+    let pattern_union: Vec<u64>;
+    if let Some(prefix) = &query.pattern_prefix {
+        // Prefix match over pattern ids: union the postings of the matching
+        // ids (short-hash ergonomics).
+        let mut union: Vec<u64> = Vec::new();
+        for doc in index.docs() {
+            if let Some(pid) = &doc.pattern_id {
+                if pid.starts_with(prefix.as_str()) {
+                    union.push(doc.id);
+                }
+            }
+        }
+        union.dedup();
+        pattern_union = union;
+        lists.push(&pattern_union);
+    }
+    let field_lists: Vec<Vec<u64>> = query
+        .fields
+        .iter()
+        .map(|(n, v)| index.field_postings(n, v).to_vec())
+        .collect();
+    for fl in &field_lists {
+        lists.push(fl);
+    }
+
+    let candidates: Vec<u64> = if lists.is_empty() {
+        index.docs().iter().map(|d| d.id).collect()
+    } else {
+        InvertedIndex::intersect(&lists)
+    };
+    candidates
+        .into_iter()
+        .filter_map(|id| index.get(id))
+        .filter(|d| query.after.map_or(true, |t| d.timestamp >= t))
+        .filter(|d| query.before.map_or(true, |t| d.timestamp <= t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.ingest("sshd", 100, "Accepted password for root from 10.0.0.7", Some("aaa111".into()),
+            vec![("user".into(), "root".into()), ("srcip".into(), "10.0.0.7".into())]);
+        idx.ingest("sshd", 200, "Failed password for guest from 10.0.0.9", Some("bbb222".into()),
+            vec![("user".into(), "guest".into()), ("srcip".into(), "10.0.0.9".into())]);
+        idx.ingest("nginx", 300, "GET /index.html 200", None, vec![]);
+        idx.ingest("sshd", 400, "Accepted password for root from 10.0.0.9", Some("aaa111".into()),
+            vec![("user".into(), "root".into()), ("srcip".into(), "10.0.0.9".into())]);
+        idx
+    }
+
+    #[test]
+    fn parse_query_string() {
+        let q = Query::parse("failed password service:sshd user:root after:150 before:450");
+        assert_eq!(q.terms, vec!["failed", "password"]);
+        assert_eq!(q.service.as_deref(), Some("sshd"));
+        assert_eq!(q.fields, vec![("user".to_string(), "root".to_string())]);
+        assert_eq!(q.after, Some(150));
+        assert_eq!(q.before, Some(450));
+    }
+
+    #[test]
+    fn term_and_service_search() {
+        let idx = sample_index();
+        let hits = search(&idx, &Query::parse("password service:sshd"));
+        assert_eq!(hits.len(), 3);
+        let hits = search(&idx, &Query::parse("failed"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].timestamp, 200);
+    }
+
+    #[test]
+    fn pattern_prefix_groups_events() {
+        let idx = sample_index();
+        // "searching, filtering, and data analysis much easier": one pattern
+        // id pulls the whole event group.
+        let hits = search(&idx, &Query::parse("pattern:aaa"));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.pattern_id.as_deref() == Some("aaa111")));
+    }
+
+    #[test]
+    fn field_capture_search() {
+        let idx = sample_index();
+        let hits = search(&idx, &Query::parse("srcip:10.0.0.9"));
+        assert_eq!(hits.len(), 2);
+        let hits = search(&idx, &Query::parse("srcip:10.0.0.9 user:root"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].timestamp, 400);
+    }
+
+    #[test]
+    fn time_bounds() {
+        let idx = sample_index();
+        let hits = search(&idx, &Query::parse("after:150 before:350"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_query_returns_everything() {
+        let idx = sample_index();
+        assert_eq!(search(&idx, &Query::parse("")).len(), 4);
+    }
+
+    #[test]
+    fn no_hits() {
+        let idx = sample_index();
+        assert!(search(&idx, &Query::parse("nonexistent")).is_empty());
+        assert!(search(&idx, &Query::parse("password service:nginx")).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::value::SqlValue;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer.
+    Integer,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 text.
+    Text,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColType,
+    /// PRIMARY KEY (implies UNIQUE and NOT NULL).
+    pub primary_key: bool,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// UNIQUE constraint.
+    pub unique: bool,
+    /// DEFAULT value (a literal).
+    pub default: Option<SqlValue>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(SqlValue),
+    /// A `?` placeholder, by position.
+    Param(usize),
+    /// A column reference.
+    Column(String),
+    /// `*` (only valid inside COUNT(*) or as a bare select item).
+    Star,
+    /// Unary minus / NOT.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull(Box<Expr>, bool),
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList(Box<Expr>, Vec<Expr>, bool),
+    /// `expr [NOT] LIKE pattern`.
+    Like(Box<Expr>, Box<Expr>, bool),
+    /// Function call (aggregates and scalar functions).
+    Call(String, Vec<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `||` string concatenation
+    Concat,
+}
+
+/// One item of a SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression (`Expr::Star` for `*`).
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression (usually a column).
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Skip if the table exists.
+        if_not_exists: bool,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Don't error when missing.
+        if_exists: bool,
+    },
+    /// INSERT (optionally OR REPLACE).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list (empty = all columns in order).
+        columns: Vec<String>,
+        /// Row value expressions.
+        rows: Vec<Vec<Expr>>,
+        /// INSERT OR REPLACE semantics (replace on unique conflict).
+        or_replace: bool,
+    },
+    /// SELECT.
+    Select(SelectStmt),
+    /// UPDATE.
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET col = expr` assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE filter.
+        filter: Option<Expr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE filter.
+        filter: Option<Expr>,
+    },
+    /// EXPLAIN wrapping another statement: describes the access plan
+    /// instead of executing.
+    Explain(Box<Statement>),
+    /// BEGIN \[TRANSACTION\].
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+}
+
+/// The SELECT statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection.
+    pub items: Vec<SelectItem>,
+    /// FROM table (None allows `SELECT 1`-style constant queries).
+    pub table: Option<String>,
+    /// WHERE filter.
+    pub filter: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<Expr>,
+    /// HAVING filter over the groups.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+    /// OFFSET rows to skip.
+    pub offset: Option<usize>,
+}

@@ -1,0 +1,87 @@
+//! Error type for the minisql engine.
+
+use std::fmt;
+
+/// Anything that can go wrong while lexing, parsing, executing or persisting.
+#[derive(Debug)]
+pub enum Error {
+    /// Tokeniser error.
+    Lex(String),
+    /// Grammar error.
+    Parse(String),
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// Table already exists (without IF NOT EXISTS).
+    TableExists(String),
+    /// A UNIQUE or PRIMARY KEY constraint would be violated.
+    UniqueViolation {
+        /// Table of the violated constraint.
+        table: String,
+        /// Constrained column.
+        column: String,
+    },
+    /// A NOT NULL constraint would be violated.
+    NotNullViolation {
+        /// Table of the violated constraint.
+        table: String,
+        /// Constrained column.
+        column: String,
+    },
+    /// Arity mismatch between columns and values.
+    ArityMismatch {
+        /// Values expected.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Fewer bound parameters than `?` placeholders (or more).
+    ParamCount {
+        /// Placeholders in the statement.
+        expected: usize,
+        /// Parameters bound by the caller.
+        got: usize,
+    },
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Underlying I/O error from the WAL or snapshot files.
+    Io(std::io::Error),
+    /// Corrupt snapshot / WAL content.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(m) => write!(f, "lex error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            Error::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            Error::TableExists(t) => write!(f, "table already exists: {t}"),
+            Error::UniqueViolation { table, column } => {
+                write!(f, "UNIQUE constraint failed: {table}.{column}")
+            }
+            Error::NotNullViolation { table, column } => {
+                write!(f, "NOT NULL constraint failed: {table}.{column}")
+            }
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            Error::ParamCount { expected, got } => {
+                write!(f, "statement has {expected} parameters, {got} bound")
+            }
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt database file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,630 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::error::Error;
+use crate::lexer::{lex, Tok};
+use crate::value::SqlValue;
+
+/// Parse one statement (a trailing `;` is tolerated).
+pub fn parse(sql: &str) -> Result<Statement, Error> {
+    let toks = lex(sql)?;
+    let mut p = P { toks, i: 0, params: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(";");
+    if p.i != p.toks.len() {
+        return Err(Error::Parse(format!("trailing tokens after statement: {:?}", &p.toks[p.i..])));
+    }
+    Ok(stmt)
+}
+
+/// Count the `?` placeholders in a statement text.
+pub fn count_params(sql: &str) -> Result<usize, Error> {
+    Ok(lex(sql)?.iter().filter(|t| matches!(t, Tok::Param)).count())
+}
+
+struct P {
+    toks: Vec<Tok>,
+    i: usize,
+    params: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self) -> Option<String> {
+        self.peek().and_then(|t| t.keyword())
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw().as_deref() == Some(kw) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), Error> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(x)) if *x == p) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), Error> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, Error> {
+        match self.peek_kw().as_deref() {
+            Some("CREATE") => self.create(),
+            Some("DROP") => self.drop(),
+            Some("INSERT") => self.insert(),
+            Some("SELECT") => Ok(Statement::Select(self.select()?)),
+            Some("UPDATE") => self.update(),
+            Some("DELETE") => self.delete(),
+            Some("EXPLAIN") => {
+                self.i += 1;
+                Ok(Statement::Explain(Box::new(self.statement()?)))
+            }
+            Some("BEGIN") => {
+                self.i += 1;
+                // Optional TRANSACTION keyword.
+                self.eat_kw("TRANSACTION");
+                Ok(Statement::Begin)
+            }
+            Some("COMMIT") => {
+                self.i += 1;
+                Ok(Statement::Commit)
+            }
+            Some("ROLLBACK") => {
+                self.i += 1;
+                Ok(Statement::Rollback)
+            }
+            other => Err(Error::Parse(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, Error> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.column_def()?);
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.expect_punct(")")?;
+            break;
+        }
+        Ok(Statement::CreateTable { name, if_not_exists, columns })
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef, Error> {
+        let name = self.ident()?;
+        let ty_word = self.ident()?.to_ascii_uppercase();
+        let ty = match ty_word.as_str() {
+            "INTEGER" | "INT" | "BIGINT" | "SMALLINT" => ColType::Integer,
+            "REAL" | "FLOAT" | "DOUBLE" => ColType::Real,
+            "TEXT" | "VARCHAR" | "CHAR" | "CLOB" | "STRING" => ColType::Text,
+            other => return Err(Error::Parse(format!("unknown column type {other}"))),
+        };
+        // VARCHAR(64)-style length spec is parsed and ignored.
+        if self.eat_punct("(") {
+            while !self.eat_punct(")") {
+                if self.next().is_none() {
+                    return Err(Error::Parse("unterminated type length".into()));
+                }
+            }
+        }
+        let mut def = ColumnDef { name, ty, primary_key: false, not_null: false, unique: false, default: None };
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                def.primary_key = true;
+                def.not_null = true;
+                def.unique = true;
+            } else if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("UNIQUE") {
+                def.unique = true;
+            } else if self.eat_kw("DEFAULT") {
+                def.default = Some(self.literal()?);
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn literal(&mut self) -> Result<SqlValue, Error> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(SqlValue::Integer(v)),
+            Some(Tok::Float(v)) => Ok(SqlValue::Real(v)),
+            Some(Tok::Str(s)) => Ok(SqlValue::Text(s)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(SqlValue::Null),
+            Some(Tok::Punct("-")) => match self.next() {
+                Some(Tok::Int(v)) => Ok(SqlValue::Integer(-v)),
+                Some(Tok::Float(v)) => Ok(SqlValue::Real(-v)),
+                other => Err(Error::Parse(format!("expected number after -, found {other:?}"))),
+            },
+            other => Err(Error::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn drop(&mut self) -> Result<Statement, Error> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        Ok(Statement::DropTable { name: self.ident()?, if_exists })
+    }
+
+    fn insert(&mut self) -> Result<Statement, Error> {
+        self.expect_kw("INSERT")?;
+        let or_replace = if self.eat_kw("OR") {
+            self.expect_kw("REPLACE")?;
+            true
+        } else {
+            false
+        };
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_punct("(") {
+            loop {
+                columns.push(self.ident()?);
+                if self.eat_punct(",") {
+                    continue;
+                }
+                self.expect_punct(")")?;
+                break;
+            }
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if self.eat_punct(",") {
+                    continue;
+                }
+                self.expect_punct(")")?;
+                break;
+            }
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows, or_replace })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, Error> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let table = if self.eat_kw("FROM") { Some(self.ident()?) } else { None };
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") { Some(self.usize_lit()?) } else { None };
+        let offset = if self.eat_kw("OFFSET") { Some(self.usize_lit()?) } else { None };
+        Ok(SelectStmt { items, table, filter, group_by, having, order_by, limit, offset })
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, Error> {
+        match self.next() {
+            Some(Tok::Int(v)) if v >= 0 => Ok(v as usize),
+            other => Err(Error::Parse(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement, Error> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_punct("=")?;
+            sets.push((col, self.expr()?));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, filter })
+    }
+
+    fn delete(&mut self) -> Result<Statement, Error> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), BinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), BinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, Error> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Unary(UnaryOp::Not, Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Error> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(lhs), negated));
+        }
+        // [NOT] IN / [NOT] LIKE
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_punct("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.eat_punct(",") {
+                    continue;
+                }
+                self.expect_punct(")")?;
+                break;
+            }
+            return Ok(Expr::InList(Box::new(lhs), list, negated));
+        }
+        if self.eat_kw("LIKE") {
+            let pat = self.add_expr()?;
+            return Ok(Expr::Like(Box::new(lhs), Box::new(pat), negated));
+        }
+        if negated {
+            return Err(Error::Parse("expected IN or LIKE after NOT".into()));
+        }
+        let op = match self.peek() {
+            Some(Tok::Punct("=")) => Some(BinOp::Eq),
+            Some(Tok::Punct("!=")) | Some(Tok::Punct("<>")) => Some(BinOp::Ne),
+            Some(Tok::Punct("<")) => Some(BinOp::Lt),
+            Some(Tok::Punct("<=")) => Some(BinOp::Le),
+            Some(Tok::Punct(">")) => Some(BinOp::Gt),
+            Some(Tok::Punct(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.i += 1;
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Binary(Box::new(lhs), op, Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => BinOp::Add,
+                Some(Tok::Punct("-")) => BinOp::Sub,
+                Some(Tok::Punct("||")) => BinOp::Concat,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => BinOp::Mul,
+                Some(Tok::Punct("/")) => BinOp::Div,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Error> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, Error> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Literal(SqlValue::Integer(v))),
+            Some(Tok::Float(v)) => Ok(Expr::Literal(SqlValue::Real(v))),
+            Some(Tok::Str(s)) => Ok(Expr::Literal(SqlValue::Text(s))),
+            Some(Tok::Param) => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Some(Tok::Punct("*")) => Ok(Expr::Star),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(SqlValue::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(SqlValue::Integer(1)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(SqlValue::Integer(0)));
+                }
+                if self.eat_punct("(") {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(",") {
+                                continue;
+                            }
+                            self.expect_punct(")")?;
+                            break;
+                        }
+                    }
+                    return Ok(Expr::Call(name.to_ascii_uppercase(), args));
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse(
+            "CREATE TABLE IF NOT EXISTS patterns (
+                id TEXT PRIMARY KEY,
+                service TEXT NOT NULL,
+                cnt INTEGER DEFAULT 0,
+                complexity REAL
+            );",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, if_not_exists, columns } => {
+                assert_eq!(name, "patterns");
+                assert!(if_not_exists);
+                assert_eq!(columns.len(), 4);
+                assert!(columns[0].primary_key && columns[0].unique && columns[0].not_null);
+                assert_eq!(columns[2].default, Some(SqlValue::Integer(0)));
+                assert_eq!(columns[3].ty, ColType::Real);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_with_params_and_multirow() {
+        let s = parse("INSERT OR REPLACE INTO t (a, b) VALUES (?, ?), (1, 'x')").unwrap();
+        match s {
+            Statement::Insert { table, columns, rows, or_replace } => {
+                assert_eq!(table, "t");
+                assert!(or_replace);
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Expr::Param(0));
+                assert_eq!(rows[0][1], Expr::Param(1));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse(
+            "SELECT service, COUNT(*) AS n FROM patterns \
+             WHERE cnt >= 5 AND service LIKE 'ss%' \
+             GROUP BY service ORDER BY n DESC, service LIMIT 10 OFFSET 2",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items.len(), 2);
+                assert_eq!(sel.items[1].alias.as_deref(), Some("n"));
+                assert_eq!(sel.group_by.len(), 1);
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].desc);
+                assert_eq!(sel.limit, Some(10));
+                assert_eq!(sel.offset, Some(2));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 = 7, not 9.
+        let s = parse("SELECT 1 + 2 * 3").unwrap();
+        match s {
+            Statement::Select(sel) => match &sel.items[0].expr {
+                Expr::Binary(_, BinOp::Add, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(_, BinOp::Mul, _)));
+                }
+                other => panic!("wrong tree {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn where_variants() {
+        assert!(parse("SELECT a FROM t WHERE a IS NULL").is_ok());
+        assert!(parse("SELECT a FROM t WHERE a IS NOT NULL").is_ok());
+        assert!(parse("SELECT a FROM t WHERE a IN (1, 2, 3)").is_ok());
+        assert!(parse("SELECT a FROM t WHERE a NOT IN (1)").is_ok());
+        assert!(parse("SELECT a FROM t WHERE NOT (a = 1 OR b = 2)").is_ok());
+        assert!(parse("SELECT a FROM t WHERE a NOT LIKE '%x%'").is_ok());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        assert!(matches!(
+            parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = ?").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(parse("DELETE FROM t WHERE a < 3").unwrap(), Statement::Delete { .. }));
+        assert!(matches!(parse("DELETE FROM t").unwrap(), Statement::Delete { filter: None, .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("SELEC a").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("CREATE TABLE t (a BLOB2)").is_err());
+        assert!(parse("SELECT a FROM t WHERE a NOT 5").is_err());
+        assert!(parse("SELECT 1 SELECT 2").is_err());
+    }
+
+    #[test]
+    fn having_clause() {
+        let s = parse("SELECT service, COUNT(*) FROM p GROUP BY service HAVING COUNT(*) > 2").unwrap();
+        match s {
+            Statement::Select(sel) => assert!(sel.having.is_some()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn transaction_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION;").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn param_counting() {
+        assert_eq!(count_params("INSERT INTO t VALUES (?, ?, ?)").unwrap(), 3);
+        assert_eq!(count_params("SELECT 1").unwrap(), 0);
+    }
+
+    #[test]
+    fn varchar_length_ignored() {
+        assert!(parse("CREATE TABLE t (a VARCHAR(64) NOT NULL)").is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Data-driven SQL logic tests: each case is a statement plus its expected
+//! rendering. Cases run in order against one shared database, sqllogictest
+//! style, so later cases also verify the side effects of earlier ones.
+
+use minisql::{Database, ExecResult};
+
+/// Render an ExecResult compactly: rows as `a|b|c` lines, affected counts as
+/// `#n`, DDL as `ok`.
+fn render(r: &ExecResult) -> String {
+    match r {
+        ExecResult::None => "ok".to_string(),
+        ExecResult::Affected(n) => format!("#{n}"),
+        ExecResult::Rows { rows, .. } => rows
+            .iter()
+            .map(|row| {
+                row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|")
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+fn run_script(cases: &[(&str, &str)]) {
+    let mut db = Database::in_memory();
+    for (i, (sql, expected)) in cases.iter().enumerate() {
+        match db.execute(sql) {
+            Ok(result) => {
+                let got = render(&result);
+                assert_eq!(
+                    &got, expected,
+                    "case {i}: {sql}\n  expected {expected:?}\n  got      {got:?}"
+                );
+            }
+            Err(e) => {
+                assert_eq!(
+                    *expected,
+                    "error",
+                    "case {i}: {sql} unexpectedly failed with {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schema_and_inserts() {
+    run_script(&[
+        ("CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c REAL DEFAULT 1.5)", "ok"),
+        ("CREATE TABLE t (a INTEGER)", "error"),
+        ("CREATE TABLE IF NOT EXISTS t (a INTEGER)", "ok"),
+        ("INSERT INTO t (a, b) VALUES (1, 'one')", "#1"),
+        ("INSERT INTO t (a, b, c) VALUES (2, 'two', 2.5), (3, 'three', 3.5)", "#2"),
+        ("SELECT a, b, c FROM t ORDER BY a", "1|one|1.5\n2|two|2.5\n3|three|3.5"),
+        ("INSERT INTO t (a, b) VALUES (1, 'dup')", "error"),
+        ("INSERT INTO t (a) VALUES (9)", "error"), // b NOT NULL
+        ("INSERT OR REPLACE INTO t (a, b) VALUES (1, 'uno')", "#1"),
+        ("SELECT b FROM t WHERE a = 1", "uno"),
+        ("SELECT COUNT(*) FROM t", "3"),
+    ]);
+}
+
+#[test]
+fn filtering_and_expressions() {
+    run_script(&[
+        ("CREATE TABLE n (x INTEGER, y INTEGER)", "ok"),
+        ("INSERT INTO n VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, NULL)", "#5"),
+        ("SELECT x FROM n WHERE y > 15 AND y < 35 ORDER BY x", "2\n3"),
+        ("SELECT x FROM n WHERE y IS NULL", "5"),
+        ("SELECT x FROM n WHERE y IS NOT NULL AND x IN (1, 5)", "1"),
+        ("SELECT x FROM n WHERE NOT (x < 4) ORDER BY x", "4\n5"),
+        ("SELECT x + y FROM n WHERE x = 2", "22"),
+        ("SELECT x * 2 + 1 FROM n WHERE x = 3", "7"),
+        ("SELECT x FROM n WHERE y / 10 = x AND x <= 2 ORDER BY x", "1\n2"),
+        ("SELECT x FROM n WHERE x % 2 = 0", "error"), // % unsupported
+        ("SELECT -x FROM n WHERE x = 1", "-1"),
+        ("SELECT x FROM n ORDER BY y DESC LIMIT 2", "4\n3"),
+        ("SELECT x FROM n ORDER BY x LIMIT 2 OFFSET 2", "3\n4"),
+    ]);
+}
+
+#[test]
+fn strings_and_like() {
+    run_script(&[
+        ("CREATE TABLE s (v TEXT)", "ok"),
+        ("INSERT INTO s VALUES ('alpha'), ('beta'), ('ALPHABET'), ('gamma ray'), ('')", "#5"),
+        ("SELECT v FROM s WHERE v LIKE 'alpha'", "alpha"),
+        ("SELECT COUNT(*) FROM s WHERE v LIKE 'alpha%'", "2"), // case-insensitive
+        ("SELECT v FROM s WHERE v LIKE '%ray'", "gamma ray"),
+        ("SELECT v FROM s WHERE v LIKE '_eta'", "beta"),
+        ("SELECT COUNT(*) FROM s WHERE v NOT LIKE '%a%'", "1"), // only ''
+        ("SELECT 'x' || 'y' || 'z'", "xyz"),
+        ("SELECT UPPER(v) FROM s WHERE v = 'beta'", "BETA"),
+        ("SELECT LENGTH(v) FROM s WHERE v = 'gamma ray'", "9"),
+        ("SELECT v FROM s WHERE v = 'it''s'", ""),
+    ]);
+}
+
+#[test]
+fn aggregates_and_groups() {
+    run_script(&[
+        ("CREATE TABLE g (k TEXT, v INTEGER)", "ok"),
+        ("INSERT INTO g VALUES ('a', 1), ('a', 2), ('b', 10), ('b', 20), ('b', 30), ('c', NULL)", "#6"),
+        ("SELECT COUNT(*), COUNT(v) FROM g", "6|5"),
+        ("SELECT SUM(v), MIN(v), MAX(v) FROM g", "63|1|30"),
+        ("SELECT AVG(v) FROM g WHERE k = 'b'", "20"),
+        ("SELECT k, COUNT(*) FROM g GROUP BY k ORDER BY k", "a|2\nb|3\nc|1"),
+        ("SELECT k, SUM(v) FROM g GROUP BY k HAVING COUNT(*) >= 2 ORDER BY k", "a|3\nb|60"),
+        ("SELECT k FROM g GROUP BY k HAVING SUM(v) > 50", "b"),
+        ("SELECT COUNT(*) FROM g WHERE v > 100", "0"),
+        ("SELECT SUM(v) FROM g WHERE v > 100", "NULL"),
+    ]);
+}
+
+#[test]
+fn updates_deletes_and_transactions() {
+    run_script(&[
+        ("CREATE TABLE u (id INTEGER PRIMARY KEY, n INTEGER DEFAULT 0)", "ok"),
+        ("INSERT INTO u (id) VALUES (1), (2), (3)", "#3"),
+        ("UPDATE u SET n = id * 100", "#3"),
+        ("SELECT n FROM u ORDER BY id", "100\n200\n300"),
+        ("UPDATE u SET n = n + 1 WHERE id = 2", "#1"),
+        ("SELECT n FROM u WHERE id = 2", "201"),
+        ("DELETE FROM u WHERE n > 250", "#1"),
+        ("SELECT COUNT(*) FROM u", "2"),
+        ("BEGIN", "ok"),
+        ("DELETE FROM u", "#2"),
+        ("SELECT COUNT(*) FROM u", "0"),
+        ("ROLLBACK", "ok"),
+        ("SELECT COUNT(*) FROM u", "2"),
+        ("BEGIN", "ok"),
+        ("UPDATE u SET n = 0", "#2"),
+        ("COMMIT", "ok"),
+        ("SELECT SUM(n) FROM u", "0"),
+        ("COMMIT", "error"),
+    ]);
+}
+
+#[test]
+fn null_three_valued_logic() {
+    run_script(&[
+        ("CREATE TABLE z (v INTEGER)", "ok"),
+        ("INSERT INTO z VALUES (NULL), (0), (1)", "#3"),
+        ("SELECT COUNT(*) FROM z WHERE v = NULL", "0"),
+        ("SELECT COUNT(*) FROM z WHERE v != 0", "1"),
+        ("SELECT COUNT(*) FROM z WHERE v = 0 OR v = 1", "2"),
+        ("SELECT COALESCE(v, -1) FROM z ORDER BY COALESCE(v, -1)", "-1\n0\n1"),
+        ("SELECT COUNT(*) FROM z WHERE v IS NULL OR v = 0", "2"),
+        ("SELECT 1 + NULL", "NULL"),
+        ("SELECT NULL || 'x'", "NULL"),
+    ]);
+}
+
+#[test]
+fn error_cases() {
+    run_script(&[
+        ("CREATE TABLE e (a INTEGER)", "ok"),
+        ("SELECT b FROM e", "error"),
+        ("SELECT a FROM missing", "error"),
+        ("INSERT INTO e VALUES (1, 2)", "error"),
+        ("UPDATE e SET b = 1", "error"),
+        ("DELETE FROM missing", "error"),
+        ("DROP TABLE missing", "error"),
+        ("DROP TABLE IF EXISTS missing", "ok"),
+        ("SELECT", "error"),
+        ("FROBNICATE", "error"),
+    ]);
+}

@@ -1,0 +1,180 @@
+//! Pattern export for other log-management components.
+//!
+//! "We developed a new function (`ExportPatterns`) that can be run on-demand
+//! or periodically by system administrators when they want to review
+//! patterns." Three formats are supported, matching the paper:
+//!
+//! * [`syslogng`] — syslog-ng pattern database XML (Fig. 3), including the
+//!   stored example messages as `<test_message>` test cases;
+//! * [`yaml`] — a YAML form "that can be used alongside a DevOps tool such as
+//!   Puppet to build the pattern database XML";
+//! * [`grok`] — Logstash Grok filter blocks (Fig. 4).
+
+pub mod grok;
+pub mod syslogng;
+pub mod yaml;
+
+use crate::store::{PatternStore, StoreError, StoredPattern};
+use sequence_core::Pattern;
+
+/// Which export format to produce ("selecting the pattern export format is a
+/// command-line flag").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// syslog-ng pattern database XML.
+    SyslogNg,
+    /// YAML for DevOps tooling.
+    Yaml,
+    /// Logstash Grok filters.
+    Grok,
+}
+
+impl ExportFormat {
+    /// Parse a command-line flag value.
+    pub fn from_flag(s: &str) -> Option<ExportFormat> {
+        match s.to_ascii_lowercase().as_str() {
+            "syslog-ng" | "syslogng" | "patterndb" | "xml" => Some(ExportFormat::SyslogNg),
+            "yaml" | "yml" => Some(ExportFormat::Yaml),
+            "grok" | "logstash" => Some(ExportFormat::Grok),
+            _ => None,
+        }
+    }
+}
+
+/// Filters applied when selecting patterns for export: "this score can then
+/// be used to select only the strongest patterns when exporting them".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExportSelection {
+    /// Minimum match count (the save threshold).
+    pub min_count: u64,
+    /// Maximum allowed complexity score (1.0 admits everything; patterns
+    /// consisting entirely of variables score exactly 1.0 and are usually
+    /// "overly patternised").
+    pub max_complexity: f64,
+    /// Export only patterns an administrator has promoted (see
+    /// `patterndb::review`). Off by default: exports are usually *for*
+    /// review.
+    pub promoted_only: bool,
+}
+
+impl Default for ExportSelection {
+    fn default() -> Self {
+        ExportSelection { min_count: 1, max_complexity: 1.0, promoted_only: false }
+    }
+}
+
+/// A pattern selected for export, with its parsed form.
+#[derive(Debug, Clone)]
+pub struct ExportEntry {
+    /// The stored row.
+    pub stored: StoredPattern,
+    /// Parsed pattern.
+    pub pattern: Pattern,
+}
+
+/// Select patterns from the store per the given filters, skipping rows that
+/// no longer parse (reported in the second return value).
+pub fn select(
+    store: &mut PatternStore,
+    selection: ExportSelection,
+) -> Result<(Vec<ExportEntry>, Vec<StoreError>), StoreError> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for stored in store.patterns(None)? {
+        if stored.count < selection.min_count
+            || stored.complexity > selection.max_complexity
+            || (selection.promoted_only && !stored.promoted)
+        {
+            continue;
+        }
+        match stored.pattern() {
+            Ok(pattern) => entries.push(ExportEntry { stored, pattern }),
+            Err(e) => errors.push(e),
+        }
+    }
+    Ok((entries, errors))
+}
+
+/// Run a full export in the requested format.
+pub fn export_patterns(
+    store: &mut PatternStore,
+    format: ExportFormat,
+    selection: ExportSelection,
+) -> Result<String, StoreError> {
+    let (entries, _errors) = select(store, selection)?;
+    Ok(match format {
+        ExportFormat::SyslogNg => syslogng::render(&entries),
+        ExportFormat::Yaml => yaml::render(&entries),
+        ExportFormat::Grok => grok::render(&entries),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequence_core::{Analyzer, Scanner};
+
+    fn store_with_patterns() -> PatternStore {
+        let mut store = PatternStore::in_memory();
+        let scanner = Scanner::new();
+        let scanned: Vec<_> = [
+            "Accepted password for root from 10.2.3.4 port 22 ssh2",
+            "Accepted password for admin from 10.9.9.9 port 2200 ssh2",
+            "Accepted password for guest from 172.16.0.5 port 22022 ssh2",
+        ]
+        .iter()
+        .map(|m| scanner.scan(m))
+        .collect();
+        for d in Analyzer::new().analyze(&scanned) {
+            store.upsert_discovered("sshd", &d, 1_630_000_000).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn selection_filters_by_count() {
+        let mut store = store_with_patterns();
+        let (all, _) = select(&mut store, ExportSelection::default()).unwrap();
+        assert_eq!(all.len(), 1);
+        let (none, _) =
+            select(&mut store, ExportSelection { min_count: 100, ..Default::default() }).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn selection_filters_by_complexity() {
+        let mut store = store_with_patterns();
+        let (none, _) =
+            select(&mut store, ExportSelection { max_complexity: 0.01, ..Default::default() }).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn promoted_only_selection() {
+        let mut store = store_with_patterns();
+        let sel = ExportSelection { promoted_only: true, ..Default::default() };
+        let (none, _) = select(&mut store, sel).unwrap();
+        assert!(none.is_empty(), "nothing promoted yet");
+        let id = store.patterns(None).unwrap()[0].id.clone();
+        store.promote(&id).unwrap();
+        let (one, _) = select(&mut store, sel).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn format_flags() {
+        assert_eq!(ExportFormat::from_flag("XML"), Some(ExportFormat::SyslogNg));
+        assert_eq!(ExportFormat::from_flag("yaml"), Some(ExportFormat::Yaml));
+        assert_eq!(ExportFormat::from_flag("logstash"), Some(ExportFormat::Grok));
+        assert_eq!(ExportFormat::from_flag("csv"), None);
+    }
+
+    #[test]
+    fn all_formats_render_nonempty() {
+        let mut store = store_with_patterns();
+        for fmt in [ExportFormat::SyslogNg, ExportFormat::Yaml, ExportFormat::Grok] {
+            let out = export_patterns(&mut store, fmt, ExportSelection::default()).unwrap();
+            assert!(!out.is_empty());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! Sequence-RTG labels "each pattern with a unique ID [...] It is critical
+//! that this ID is not only unique but reproducible for each pattern and
+//! service. To achieve this, we compute a SHA1 hash of the concatenated text
+//! of the pattern and the service." SHA-1 is used here exactly as the paper
+//! uses it — as a stable content fingerprint, not for security.
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Pre-processing: append 0x80, pad with zeros, append 64-bit bit length.
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// SHA-1 as a lower-case hex string (the pattern-id format).
+pub fn sha1_hex(data: &[u8]) -> String {
+    let digest = sha1(data);
+    let mut s = String::with_capacity(40);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// The reproducible pattern id: `SHA1(pattern_text ‖ service)`.
+pub fn pattern_id(pattern_text: &str, service: &str) -> String {
+    let mut buf = Vec::with_capacity(pattern_text.len() + service.len());
+    buf.extend_from_slice(pattern_text.as_bytes());
+    buf.extend_from_slice(service.as_bytes());
+    sha1_hex(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test vectors from FIPS 180-1 / RFC 3174.
+    #[test]
+    fn empty_string() {
+        assert_eq!(sha1_hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(sha1_hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_two_block_message() {
+        assert_eq!(
+            sha1_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(sha1_hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        // 55, 56, 63, 64 and 65 byte inputs cross the padding edge cases.
+        for len in [55usize, 56, 63, 64, 65] {
+            let data = vec![b'x'; len];
+            let d1 = sha1(&data);
+            let d2 = sha1(&data);
+            assert_eq!(d1, d2);
+            assert_ne!(sha1(&data), sha1(&vec![b'y'; len]));
+        }
+    }
+
+    #[test]
+    fn pattern_id_is_reproducible_and_service_scoped() {
+        let a = pattern_id("%action% from %srcip%", "sshd");
+        let b = pattern_id("%action% from %srcip%", "sshd");
+        let c = pattern_id("%action% from %srcip%", "nginx");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 40);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,438 @@
+//! The Sequence analyser: mining patterns from batches of tokenised messages.
+//!
+//! The analyser groups messages by token count (one analysis trie per
+//! length — "only token sets of the same length are compared in the same
+//! analysis trie"), inserts each message into the trie, runs the sibling-merge
+//! pass, and extracts one pattern per remaining root-to-leaf path.
+//!
+//! Sequence-RTG's quality control (limitation 4: "Sequence tends to add too
+//! many variables into patterns") is applied at extraction time: typed
+//! variables whose observed values never vary are demoted back to literals
+//! when the group is large enough to be confident.
+
+mod semantics;
+mod trie;
+
+pub use semantics::{is_email, is_hostname, name_variables};
+pub use trie::{AnalysisTrie, Node, NodeKey};
+
+use crate::pattern::{Pattern, PatternElement};
+use crate::token::{TokenType, TokenizedMessage};
+use std::collections::HashMap;
+
+/// Analyser configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerOptions {
+    /// Demote variables whose observed values never vary (Sequence-RTG's
+    /// limitation-4 fix). `false` reproduces plain Sequence behaviour where
+    /// every typed token becomes a variable.
+    pub quality_control: bool,
+    /// Minimum group size before a constant *typed* token may be demoted to a
+    /// literal. Small groups (the paper: "if only one or two examples of the
+    /// message is present") keep their typed variables conservative.
+    pub min_group_for_demotion: usize,
+    /// Detect key/value pairs, email addresses and host names, and assign
+    /// semantic variable names.
+    pub detect_semantics: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> Self {
+        AnalyzerOptions { quality_control: true, min_group_for_demotion: 3, detect_semantics: true }
+    }
+}
+
+impl AnalyzerOptions {
+    /// Options reproducing the seminal Sequence analyser (no Sequence-RTG
+    /// quality control).
+    pub fn seminal_sequence() -> Self {
+        AnalyzerOptions { quality_control: false, ..Default::default() }
+    }
+}
+
+/// A pattern discovered by one analysis run, with its supporting evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredPattern {
+    /// The mined pattern.
+    pub pattern: Pattern,
+    /// How many messages of the analysed batch the pattern covers.
+    pub match_count: u64,
+    /// Up to three unique example messages (the paper stores "up to three
+    /// unique examples for each pattern which are used as test cases").
+    pub examples: Vec<String>,
+    /// Indices (into the analysed slice) of all covered messages.
+    pub member_indices: Vec<u32>,
+}
+
+/// The analyser. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    opts: AnalyzerOptions,
+}
+
+impl Analyzer {
+    /// An analyser with Sequence-RTG defaults.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// An analyser with explicit options.
+    pub fn with_options(opts: AnalyzerOptions) -> Analyzer {
+        Analyzer { opts }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> AnalyzerOptions {
+        self.opts
+    }
+
+    /// Mine patterns from a batch of messages. This is the seminal `Analyze`
+    /// entry point: all messages go through the same set of per-length tries
+    /// regardless of their source service. (`AnalyzeByService`, the
+    /// Sequence-RTG extension, lives in the `sequence-rtg` crate and calls
+    /// into this after partitioning.)
+    pub fn analyze(&self, messages: &[TokenizedMessage]) -> Vec<DiscoveredPattern> {
+        // Second-level partitioning: one trie per token count.
+        let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (i, m) in messages.iter().enumerate() {
+            if m.tokens.is_empty() {
+                continue;
+            }
+            by_len.entry(m.token_count()).or_default().push(i as u32);
+        }
+        let mut lens: Vec<usize> = by_len.keys().copied().collect();
+        lens.sort_unstable();
+        let mut out = Vec::new();
+        for len in lens {
+            let indices = &by_len[&len];
+            out.extend(self.analyze_same_length(messages, indices));
+        }
+        out
+    }
+
+    /// Mine patterns from messages that all share one token count.
+    fn analyze_same_length(
+        &self,
+        messages: &[TokenizedMessage],
+        indices: &[u32],
+    ) -> Vec<DiscoveredPattern> {
+        let mut trie = AnalysisTrie::new();
+        for &i in indices {
+            trie.insert(i, &messages[i as usize].tokens);
+        }
+        trie.merge();
+        let mut out = Vec::new();
+        for path in trie.paths() {
+            out.push(self.extract(messages, &path.nodes, path.terminal));
+        }
+        out
+    }
+
+    /// Peak trie size for a batch, without extraction — used by the memory
+    /// accounting experiments around Fig. 5.
+    pub fn trie_node_count(&self, messages: &[TokenizedMessage]) -> usize {
+        let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (i, m) in messages.iter().enumerate() {
+            if !m.tokens.is_empty() {
+                by_len.entry(m.token_count()).or_default().push(i as u32);
+            }
+        }
+        let mut total = 0usize;
+        for indices in by_len.values() {
+            let mut trie = AnalysisTrie::new();
+            for &i in indices {
+                trie.insert(i, &messages[i as usize].tokens);
+            }
+            total += trie.node_count();
+        }
+        total
+    }
+
+    /// Turn one merged trie path into a pattern.
+    fn extract(
+        &self,
+        messages: &[TokenizedMessage],
+        nodes: &[&Node],
+        terminal: &[u32],
+    ) -> DiscoveredPattern {
+        let group_size = terminal.len();
+        let mut elements = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let el = match &node.key {
+                NodeKey::Lit(text) => {
+                    // Analysis-time special types: a constant email or host
+                    // name is still worth capturing as a typed variable.
+                    if self.opts.detect_semantics && is_email(text) {
+                        PatternElement::Variable {
+                            name: String::new(),
+                            ty: TokenType::Email,
+                            space_before: node.space_before,
+                        }
+                    } else if self.opts.detect_semantics && is_hostname(text) {
+                        PatternElement::Variable {
+                            name: String::new(),
+                            ty: TokenType::Hostname,
+                            space_before: node.space_before,
+                        }
+                    } else {
+                        PatternElement::Literal {
+                            text: text.clone(),
+                            space_before: node.space_before,
+                        }
+                    }
+                }
+                NodeKey::Typed(ty) => {
+                    let constant = node.observed.len() == 1;
+                    if self.opts.quality_control
+                        && constant
+                        && group_size >= self.opts.min_group_for_demotion
+                    {
+                        // Limitation-4 fix: a typed token that never varies is
+                        // static text, not a variable.
+                        PatternElement::Literal {
+                            text: node.observed.iter().next().unwrap().clone(),
+                            space_before: node.space_before,
+                        }
+                    } else {
+                        PatternElement::Variable {
+                            name: String::new(),
+                            ty: *ty,
+                            space_before: node.space_before,
+                        }
+                    }
+                }
+                NodeKey::Var(_) => {
+                    let ty = if self.opts.detect_semantics {
+                        refine_string_type(&node.observed)
+                    } else {
+                        TokenType::Literal
+                    };
+                    PatternElement::Variable {
+                        name: String::new(),
+                        ty,
+                        space_before: node.space_before,
+                    }
+                }
+            };
+            elements.push(el);
+        }
+        // Multi-line messages: pattern covers the first line only; tell the
+        // parser to ignore everything after it (limitation 6).
+        if terminal.iter().any(|&i| messages[i as usize].truncated_multiline) {
+            elements.push(PatternElement::IgnoreRest);
+        }
+        if self.opts.detect_semantics {
+            name_variables(&mut elements);
+        } else {
+            // Anonymous but unique names are still required for captures.
+            let mut counter = 0usize;
+            for el in &mut elements {
+                if let PatternElement::Variable { name, .. } = el {
+                    *name = format!("v{counter}");
+                    counter += 1;
+                }
+            }
+        }
+        let pattern = Pattern::new(elements).expect("ignore-rest only appended at the end");
+        let mut examples = Vec::new();
+        for &i in terminal {
+            let raw = &messages[i as usize].raw;
+            if !examples.iter().any(|e| e == raw) {
+                examples.push(raw.clone());
+                if examples.len() == 3 {
+                    break;
+                }
+            }
+        }
+        DiscoveredPattern {
+            pattern,
+            match_count: group_size as u64,
+            examples,
+            member_indices: terminal.to_vec(),
+        }
+    }
+}
+
+/// Refine a merged string variable's type from its observed values: if every
+/// observed value is an email (or host name), the variable is typed
+/// accordingly.
+fn refine_string_type(observed: &std::collections::BTreeSet<String>) -> TokenType {
+    if observed.is_empty() {
+        return TokenType::Literal;
+    }
+    if observed.iter().all(|v| is_email(v)) {
+        TokenType::Email
+    } else if observed.iter().all(|v| is_hostname(v)) {
+        TokenType::Hostname
+    } else {
+        TokenType::Literal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::Scanner;
+
+    fn analyze(msgs: &[&str]) -> Vec<DiscoveredPattern> {
+        let scanner = Scanner::new();
+        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+        Analyzer::new().analyze(&scanned)
+    }
+
+    #[test]
+    fn single_event_with_varying_fields() {
+        let out = analyze(&[
+            "Accepted password for root from 10.2.3.4 port 22 ssh2",
+            "Accepted password for admin from 10.9.9.9 port 2200 ssh2",
+            "Accepted password for guest from 172.16.0.5 port 22022 ssh2",
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].pattern.render(),
+            "Accepted password for %object% from %srcip:ipv4% port %port:integer% ssh2"
+        );
+        assert_eq!(out[0].match_count, 3);
+        assert_eq!(out[0].examples.len(), 3);
+    }
+
+    #[test]
+    fn two_events_two_patterns() {
+        let out = analyze(&[
+            "link up on port 7",
+            "link up on port 9",
+            "fan speed changed to 4000 rpm",
+            "fan speed changed to 2000 rpm",
+        ]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn quality_control_demotes_constant_integer() {
+        // `ssh2` ends with a digit but scans as literal; the constant port 22
+        // would be %integer% under plain Sequence but is demoted by RTG.
+        let out = analyze(&[
+            "Failed password for invalid user alice from 1.2.3.4 port 22",
+            "Failed password for invalid user bob from 1.2.3.5 port 22",
+            "Failed password for invalid user carol from 1.2.3.6 port 22",
+        ]);
+        assert_eq!(out.len(), 1);
+        let rendered = out[0].pattern.render();
+        assert!(
+            rendered.ends_with("port 22"),
+            "constant port should be demoted to a literal: {rendered}"
+        );
+    }
+
+    #[test]
+    fn seminal_sequence_keeps_constant_typed_variables() {
+        let scanner = Scanner::new();
+        let msgs: Vec<_> = [
+            "Failed password for invalid user alice from 1.2.3.4 port 22",
+            "Failed password for invalid user bob from 1.2.3.5 port 22",
+            "Failed password for invalid user carol from 1.2.3.6 port 22",
+        ]
+        .iter()
+        .map(|m| scanner.scan(m))
+        .collect();
+        let out = Analyzer::with_options(AnalyzerOptions::seminal_sequence()).analyze(&msgs);
+        let rendered = out[0].pattern.render();
+        assert!(
+            rendered.contains("port %"),
+            "seminal Sequence keeps the constant port as a variable: {rendered}"
+        );
+    }
+
+    #[test]
+    fn singleton_message_word_for_word() {
+        let out = analyze(&["completely unique message text here"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pattern.render(), "completely unique message text here");
+        assert_eq!(out[0].pattern.variable_count(), 0);
+    }
+
+    #[test]
+    fn singleton_with_typed_tokens_keeps_variables() {
+        // Group of one: demotion threshold not reached, typed tokens stay
+        // variables (paper: under-patternised singletons are a limitation,
+        // mitigated by the save threshold, not by the analyser).
+        let out = analyze(&["request took 35 ms"]);
+        assert_eq!(out[0].pattern.render(), "request took %duration:integer% ms");
+    }
+
+    #[test]
+    fn multiline_gets_ignore_rest() {
+        let out = analyze(&[
+            "panic: oh no\n  at frame 1\n  at frame 2",
+            "panic: oh dear\n  at frame 9",
+            "panic: oh my\nstack",
+        ]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].pattern.has_ignore_rest());
+        assert!(out[0].pattern.render().ends_with("%...%"));
+    }
+
+    #[test]
+    fn email_refinement() {
+        let out = analyze(&[
+            "mail rejected for alice@example.com spam",
+            "mail rejected for bob@corp.example.org spam",
+            "mail rejected for eve@mail.example.net spam",
+        ]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].pattern.render().contains(":email%"), "{}", out[0].pattern.render());
+    }
+
+    #[test]
+    fn constant_hostname_becomes_typed_variable() {
+        let out = analyze(&[
+            "query from ns1.example.com ok",
+            "query from ns1.example.com ok",
+            "query from ns1.example.com ok",
+        ]);
+        assert!(out[0].pattern.render().contains(":host%"), "{}", out[0].pattern.render());
+    }
+
+    #[test]
+    fn kv_fields_named_after_key() {
+        let out = analyze(&[
+            "audit: pid=100 uid=0 success",
+            "audit: pid=200 uid=0 success",
+            "audit: pid=300 uid=0 success",
+        ]);
+        assert_eq!(out.len(), 1);
+        let r = out[0].pattern.render();
+        assert!(r.contains("pid=%pid:integer%"), "{r}");
+        // uid is constant 0 → demoted to literal by quality control.
+        assert!(r.contains("uid=0"), "{r}");
+    }
+
+    #[test]
+    fn empty_messages_ignored() {
+        let out = analyze(&["", "   ", "real message"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pattern.render(), "real message");
+    }
+
+    #[test]
+    fn member_indices_cover_all_messages() {
+        let out = analyze(&[
+            "a x 1",
+            "a y 2",
+            "b deep structure here",
+        ]);
+        let mut all: Vec<u32> = out.iter().flat_map(|d| d.member_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn examples_unique_and_capped_at_three() {
+        let msgs: Vec<String> = (0..10).map(|i| format!("worker {i} spawned")).collect();
+        let refs: Vec<&str> = msgs.iter().map(|s| s.as_str()).collect();
+        let out = analyze(&refs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].examples.len(), 3);
+        assert_eq!(out[0].match_count, 10);
+    }
+}

@@ -1,0 +1,279 @@
+//! Analysis-time semantic detection and variable naming.
+//!
+//! Sequence detects "some other special types [...] during the analysis
+//! phase, i.e. key/value pairs, email addresses, and host names". This module
+//! implements those detectors, plus the keyword heuristics that give
+//! variables meaningful names (`%srcip%`, `%srcport%`, `%user%` …) instead of
+//! anonymous type-indexed names.
+
+use crate::pattern::PatternElement;
+use crate::token::TokenType;
+use std::collections::HashMap;
+
+/// Is this text an email address? Requires exactly one `@` with a non-empty
+/// local part and a dotted domain.
+pub fn is_email(text: &str) -> bool {
+    let mut parts = text.splitn(2, '@');
+    let local = parts.next().unwrap_or("");
+    let domain = match parts.next() {
+        Some(d) => d,
+        None => return false,
+    };
+    if local.is_empty() || domain.contains('@') {
+        return false;
+    }
+    if !local.bytes().all(|c| c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'-' | b'+')) {
+        return false;
+    }
+    is_hostname(domain)
+}
+
+/// Known top-level domains accepted for two-label host names. Longer names
+/// (three or more labels) are accepted on shape alone.
+const KNOWN_TLDS: &[&str] = &[
+    "com", "org", "net", "edu", "gov", "mil", "int", "io", "fr", "de", "uk", "us", "jp", "cn",
+    "ru", "nl", "ch", "it", "es", "eu", "local", "lan", "internal",
+];
+
+/// Is this text a host name? Labels of `[A-Za-z0-9-]`, at least two labels;
+/// two-label names additionally need a known TLD (so `foo.txt` is not a
+/// host), and the name must contain at least one alphabetic character (so
+/// version strings like `1.2.3` are not hosts).
+pub fn is_hostname(text: &str) -> bool {
+    if text.len() > 253 || !text.bytes().any(|c| c.is_ascii_alphabetic()) {
+        return false;
+    }
+    let labels: Vec<&str> = text.split('.').collect();
+    if labels.len() < 2 {
+        return false;
+    }
+    for label in &labels {
+        if label.is_empty() || label.len() > 63 {
+            return false;
+        }
+        if !label.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-') {
+            return false;
+        }
+        if label.starts_with('-') || label.ends_with('-') {
+            return false;
+        }
+    }
+    if labels.len() == 2 {
+        let tld = labels[1].to_ascii_lowercase();
+        return KNOWN_TLDS.contains(&tld.as_str());
+    }
+    // The last label of a 3+-label name must not be all digits (that shape is
+    // closer to an id or a dotted number than a DNS name).
+    !labels.last().unwrap().bytes().all(|c| c.is_ascii_digit())
+}
+
+/// Keyword → variable base name heuristics. `(keyword, type hint, name)`:
+/// when the literal immediately before a variable equals the keyword
+/// (case-insensitive), the variable is named accordingly. A `None` type hint
+/// applies regardless of the variable's type.
+const KEYWORD_NAMES: &[(&str, Option<TokenType>, &str)] = &[
+    ("from", Some(TokenType::Ipv4), "srcip"),
+    ("from", Some(TokenType::Ipv6), "srcip"),
+    ("from", Some(TokenType::Hostname), "srchost"),
+    ("from", None, "src"),
+    ("to", Some(TokenType::Ipv4), "dstip"),
+    ("to", Some(TokenType::Ipv6), "dstip"),
+    ("to", Some(TokenType::Hostname), "dsthost"),
+    ("to", None, "dst"),
+    ("port", None, "port"),
+    ("user", None, "user"),
+    ("uid", None, "uid"),
+    ("gid", None, "gid"),
+    ("pid", None, "pid"),
+    ("for", None, "object"),
+    ("host", None, "host"),
+    ("device", None, "device"),
+    ("interface", None, "interface"),
+    ("session", None, "session"),
+    ("file", None, "file"),
+    ("path", None, "path"),
+    ("size", None, "size"),
+    ("length", None, "length"),
+    ("took", None, "duration"),
+    ("in", Some(TokenType::Integer), "duration"),
+    ("in", Some(TokenType::Float), "duration"),
+    ("block", None, "block"),
+    ("job", None, "job"),
+    ("status", None, "status"),
+    ("code", None, "code"),
+    ("error", None, "errno"),
+    ("at", Some(TokenType::Time), "time"),
+];
+
+/// Assign names to the variables of a freshly extracted element sequence.
+///
+/// Naming precedence, mirroring how a human writes syslog-ng patterndb
+/// entries:
+///
+/// 1. **key/value**: variable preceded by `=` preceded by a literal key →
+///    the key names the variable (`pid=%pid:integer%`);
+/// 2. **keyword**: the literal immediately before the variable is a known
+///    keyword (`from %srcip:ipv4%`);
+/// 3. **type-indexed fallback**: `string0`, `integer1`, … in element order.
+///
+/// Duplicate names get a numeric suffix so captures stay unambiguous.
+pub fn name_variables(elements: &mut [PatternElement]) {
+    let mut used: HashMap<String, usize> = HashMap::new();
+    let mut type_counters: HashMap<TokenType, usize> = HashMap::new();
+    for i in 0..elements.len() {
+        let (ty, _) = match &elements[i] {
+            PatternElement::Variable { ty, name, .. } => (*ty, name.clone()),
+            _ => continue,
+        };
+        let base = kv_key(elements, i)
+            .or_else(|| keyword_name(elements, i, ty))
+            .unwrap_or_else(|| {
+                let c = type_counters.entry(ty).or_insert(0);
+                let name = format!("{}{}", ty.placeholder_name(), *c);
+                *c += 1;
+                name
+            });
+        let n = used.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 { base.clone() } else { format!("{base}{n}") };
+        *n += 1;
+        if let PatternElement::Variable { name: slot, .. } = &mut elements[i] {
+            *slot = name;
+        }
+    }
+}
+
+/// If `elements[i]` is the value of a `key=value` construct, return the key.
+fn kv_key(elements: &[PatternElement], i: usize) -> Option<String> {
+    if i < 2 {
+        return None;
+    }
+    let eq = match &elements[i - 1] {
+        PatternElement::Literal { text, .. } => text == "=",
+        _ => false,
+    };
+    if !eq {
+        return None;
+    }
+    match &elements[i - 2] {
+        PatternElement::Literal { text, .. } => {
+            let key: String = text
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if key.is_empty() || !key.chars().next().unwrap().is_ascii_alphabetic() {
+                None
+            } else {
+                Some(key.to_ascii_lowercase())
+            }
+        }
+        _ => None,
+    }
+}
+
+/// If the literal immediately before `elements[i]` is a known keyword, return
+/// the keyword-derived name.
+fn keyword_name(elements: &[PatternElement], i: usize, ty: TokenType) -> Option<String> {
+    if i == 0 {
+        return None;
+    }
+    let prev = match &elements[i - 1] {
+        PatternElement::Literal { text, .. } => text.to_ascii_lowercase(),
+        _ => return None,
+    };
+    // Exact type-hint matches first.
+    for (kw, hint, name) in KEYWORD_NAMES {
+        if *kw == prev && *hint == Some(ty) {
+            return Some((*name).to_string());
+        }
+    }
+    for (kw, hint, name) in KEYWORD_NAMES {
+        if *kw == prev && hint.is_none() {
+            return Some((*name).to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(t: &str) -> PatternElement {
+        PatternElement::Literal { text: t.into(), space_before: true }
+    }
+    fn var(ty: TokenType) -> PatternElement {
+        PatternElement::Variable { name: String::new(), ty, space_before: true }
+    }
+    fn name_of(el: &PatternElement) -> &str {
+        match el {
+            PatternElement::Variable { name, .. } => name,
+            _ => panic!("not a variable"),
+        }
+    }
+
+    #[test]
+    fn emails() {
+        assert!(is_email("alice@example.com"));
+        assert!(is_email("a.b+c@mail.example.org"));
+        assert!(!is_email("no-at-sign.com"));
+        assert!(!is_email("@example.com"));
+        assert!(!is_email("a@@b.com"));
+        assert!(!is_email("a@localhost"));
+    }
+
+    #[test]
+    fn hostnames() {
+        assert!(is_hostname("example.com"));
+        assert!(is_hostname("node-17.cluster.example.org"));
+        assert!(is_hostname("db01.internal"));
+        assert!(!is_hostname("foo.txt")); // unknown 2-label TLD
+        assert!(!is_hostname("1.2.3")); // no alphabetic character
+        assert!(!is_hostname("singleword"));
+        assert!(!is_hostname("-bad.com"));
+        assert!(!is_hostname("x..y.com"));
+    }
+
+    #[test]
+    fn kv_naming() {
+        let mut els = vec![lit("pid"), lit("="), var(TokenType::Integer)];
+        name_variables(&mut els);
+        assert_eq!(name_of(&els[2]), "pid");
+    }
+
+    #[test]
+    fn keyword_naming_with_type_hint() {
+        let mut els = vec![lit("from"), var(TokenType::Ipv4), lit("port"), var(TokenType::Integer)];
+        name_variables(&mut els);
+        assert_eq!(name_of(&els[1]), "srcip");
+        assert_eq!(name_of(&els[3]), "port");
+    }
+
+    #[test]
+    fn fallback_type_indexed_names() {
+        let mut els = vec![var(TokenType::Literal), var(TokenType::Literal), var(TokenType::Integer)];
+        name_variables(&mut els);
+        assert_eq!(name_of(&els[0]), "string0");
+        assert_eq!(name_of(&els[1]), "string1");
+        assert_eq!(name_of(&els[2]), "integer0");
+    }
+
+    #[test]
+    fn duplicate_names_get_suffix() {
+        let mut els = vec![
+            lit("user"),
+            var(TokenType::Literal),
+            lit("user"),
+            var(TokenType::Literal),
+        ];
+        name_variables(&mut els);
+        assert_eq!(name_of(&els[1]), "user");
+        assert_eq!(name_of(&els[3]), "user1");
+    }
+
+    #[test]
+    fn keyword_without_hint_falls_through() {
+        let mut els = vec![lit("from"), var(TokenType::Literal)];
+        name_variables(&mut els);
+        assert_eq!(name_of(&els[1]), "src");
+    }
+}

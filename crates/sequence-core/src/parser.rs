@@ -1,0 +1,229 @@
+//! The Sequence parser: matching new messages against known patterns.
+//!
+//! "Sequence has its own parser to match new messages against existing known
+//! patterns. It follows a similar process as while learning the messages, by
+//! first tokenising the messages, but instead of discovering patterns, it
+//! attempts to match new messages to a known pattern." (paper §III)
+//!
+//! [`PatternSet`] holds compiled patterns indexed by fixed token count, so a
+//! lookup only scans candidates of the right length (plus the ignore-rest
+//! patterns whose prefix fits). When several patterns match, the one with the
+//! most literal elements wins — the most *specific* pattern, which mirrors how
+//! syslog-ng's pattern database resolves multi-matches during review ("the
+//! most correct pattern would be promoted").
+
+use crate::pattern::{Captures, Pattern};
+use crate::token::TokenizedMessage;
+use std::collections::HashMap;
+
+/// A pattern with the caller's identifier (e.g. the SHA1 id from the pattern
+/// database).
+#[derive(Debug, Clone)]
+struct Entry {
+    id: String,
+    pattern: Pattern,
+    literals: usize,
+}
+
+/// An indexed set of patterns for one stream of messages.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    /// Exact-length patterns by fixed token count.
+    by_len: HashMap<usize, Vec<Entry>>,
+    /// Ignore-rest patterns by fixed (prefix) token count.
+    ignore_rest: Vec<Entry>,
+    /// Total number of patterns.
+    len: usize,
+}
+
+/// A successful parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseOutcome {
+    /// The id the pattern was inserted under.
+    pub pattern_id: String,
+    /// Variable captures.
+    pub captures: Captures,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> PatternSet {
+        PatternSet::default()
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no patterns are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a pattern under an id. Duplicate ids are allowed (the caller —
+    /// normally the pattern database — is responsible for dedup).
+    pub fn insert(&mut self, id: impl Into<String>, pattern: Pattern) {
+        let entry =
+            Entry { id: id.into(), literals: pattern.literal_count(), pattern };
+        if entry.pattern.has_ignore_rest() {
+            self.ignore_rest.push(entry);
+        } else {
+            self.by_len.entry(entry.pattern.fixed_token_count()).or_default().push(entry);
+        }
+        self.len += 1;
+    }
+
+    /// Match a tokenised message against the set. Returns the most specific
+    /// match (most literal elements; exact-length matches beat ignore-rest
+    /// matches of equal specificity).
+    pub fn match_message(&self, msg: &TokenizedMessage) -> Option<ParseOutcome> {
+        let n = msg.token_count();
+        let mut best: Option<(usize, bool, ParseOutcome)> = None;
+        if let Some(entries) = self.by_len.get(&n) {
+            for e in entries {
+                if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
+                    let candidate =
+                        (e.literals, true, ParseOutcome { pattern_id: e.id.clone(), captures });
+                    if best
+                        .as_ref()
+                        .map_or(true, |(l, exact, _)| (candidate.0, candidate.1) > (*l, *exact))
+                    {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        for e in &self.ignore_rest {
+            if e.pattern.fixed_token_count() > n {
+                continue;
+            }
+            if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
+                let candidate =
+                    (e.literals, false, ParseOutcome { pattern_id: e.id.clone(), captures });
+                if best
+                    .as_ref()
+                    .map_or(true, |(l, exact, _)| (candidate.0, candidate.1) > (*l, *exact))
+                {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(_, _, outcome)| outcome)
+    }
+
+    /// All patterns the message matches, not just the most specific one —
+    /// the check syslog-ng's pattern database performs on its test cases
+    /// ("all the example messages match their pattern, and no other in the
+    /// whole pattern database"). Ordered most specific first.
+    pub fn match_all(&self, msg: &TokenizedMessage) -> Vec<ParseOutcome> {
+        let n = msg.token_count();
+        let mut hits: Vec<(usize, ParseOutcome)> = Vec::new();
+        if let Some(entries) = self.by_len.get(&n) {
+            for e in entries {
+                if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
+                    hits.push((e.literals, ParseOutcome { pattern_id: e.id.clone(), captures }));
+                }
+            }
+        }
+        for e in &self.ignore_rest {
+            if e.pattern.fixed_token_count() <= n {
+                if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
+                    hits.push((e.literals, ParseOutcome { pattern_id: e.id.clone(), captures }));
+                }
+            }
+        }
+        hits.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.pattern_id.cmp(&b.1.pattern_id)));
+        hits.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Iterate over `(id, pattern)` pairs in insertion order per bucket.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Pattern)> {
+        self.by_len
+            .values()
+            .flatten()
+            .chain(self.ignore_rest.iter())
+            .map(|e| (e.id.as_str(), &e.pattern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::Scanner;
+
+    fn set(patterns: &[(&str, &str)]) -> PatternSet {
+        let mut s = PatternSet::new();
+        for (id, p) in patterns {
+            s.insert(*id, Pattern::parse(p).unwrap());
+        }
+        s
+    }
+
+    fn scan(m: &str) -> TokenizedMessage {
+        Scanner::new().scan(m)
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let s = PatternSet::new();
+        assert!(s.is_empty());
+        assert!(s.match_message(&scan("anything")).is_none());
+    }
+
+    #[test]
+    fn basic_match_with_captures() {
+        let s = set(&[("p1", "%action% from %srcip:ipv4% port %srcport:integer%")]);
+        let out = s.match_message(&scan("accepted from 10.0.0.1 port 22")).unwrap();
+        assert_eq!(out.pattern_id, "p1");
+        assert_eq!(out.captures.get("srcip"), Some("10.0.0.1"));
+    }
+
+    #[test]
+    fn length_index_prevents_cross_length_match() {
+        let s = set(&[("p1", "a %x% c")]);
+        assert!(s.match_message(&scan("a b c d")).is_none());
+        assert!(s.match_message(&scan("a b")).is_none());
+        assert!(s.match_message(&scan("a b c")).is_some());
+    }
+
+    #[test]
+    fn most_specific_pattern_wins() {
+        let s = set(&[
+            ("generic", "%a% %b% %c%"),
+            ("specific", "session %b% closed"),
+        ]);
+        let out = s.match_message(&scan("session xyz closed")).unwrap();
+        assert_eq!(out.pattern_id, "specific");
+    }
+
+    #[test]
+    fn exact_length_beats_ignore_rest_at_equal_specificity() {
+        let s = set(&[("ir", "session %b% closed %...%"), ("exact", "session %b% closed")]);
+        let out = s.match_message(&scan("session xyz closed")).unwrap();
+        assert_eq!(out.pattern_id, "exact");
+    }
+
+    #[test]
+    fn ignore_rest_matches_longer_messages() {
+        let s = set(&[("ir", "panic : %...%")]);
+        assert!(s.match_message(&scan("panic: something terrible happened here")).is_some());
+        assert!(s.match_message(&scan("panic:")).is_some());
+        assert!(s.match_message(&scan("panic")).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let s = set(&[("a", "x %v%"), ("b", "y %v% %...%")]);
+        let ids: Vec<&str> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_rejected_by_all_candidates() {
+        let s = set(&[("p", "count %n:integer% items")]);
+        assert!(s.match_message(&scan("count 12 items")).is_some());
+        assert!(s.match_message(&scan("count twelve items")).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! The general text-and-number finite state machine.
+//!
+//! After the datetime and hexadecimal machines have had their chance, the
+//! scanner extracts a *word* — a maximal run of non-break characters — and
+//! this module classifies it as an integer, float, IPv4 address, path, or
+//! plain literal. URLs are recognised separately (before word extraction)
+//! because their text contains break characters such as `:` and `=`.
+
+use crate::token::TokenType;
+
+/// Characters that terminate a word. Whitespace also terminates a word but is
+/// handled by the scanner loop itself.
+///
+/// Note what is *not* a break character: `.` (decimals, IPv4, host names),
+/// `/` (paths), `@` (emails), `-`/`_`/`+` (identifiers), `%` (the paper
+/// documents that `%` inside messages collides with Sequence's pattern tag
+/// delimiter — keeping it a word character reproduces that behaviour), `*`
+/// (Proxifier-style `64*` values stay one literal), `#`, `?`, `&`, `!`, `$`.
+pub fn is_break_char(c: char) -> bool {
+    matches!(
+        c,
+        ',' | ';' | ':' | '(' | ')' | '[' | ']' | '{' | '}' | '<' | '>' | '"' | '\'' | '=' | '|'
+            | '`'
+    )
+}
+
+/// `true` if the byte at `b[at]` ends a token (end of input, whitespace, a
+/// break character, or a `.`/`,` that trails the token).
+pub fn is_boundary(b: &[u8], at: usize) -> bool {
+    match b.get(at) {
+        None => true,
+        Some(&c) => {
+            let c = c as char;
+            c.is_ascii_whitespace() || is_break_char(c) || c == '.' || c == ','
+        }
+    }
+}
+
+/// Attempt to match a URL at the start of `s`: a 2–10 character scheme,
+/// `://`, and everything up to whitespace or a quote/angle-bracket. Trailing
+/// sentence punctuation (`.`, `,`, `;`, `)`) is excluded from the match.
+pub fn match_url(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() && i < 10 && (b[i].is_ascii_alphanumeric() || b[i] == b'+' || b[i] == b'-') {
+        i += 1;
+    }
+    if i < 2 || !b[0].is_ascii_alphabetic() {
+        return None;
+    }
+    if b.len() < i + 3 || &b[i..i + 3] != b"://" {
+        return None;
+    }
+    let mut end = i + 3;
+    while end < b.len() {
+        let c = b[end] as char;
+        if c.is_ascii_whitespace() || matches!(c, '"' | '\'' | '<' | '>' | '`') {
+            break;
+        }
+        end += 1;
+    }
+    // A bare `scheme://` with nothing after it is not a URL.
+    if end == i + 3 {
+        return None;
+    }
+    // Strip trailing punctuation that belongs to the sentence, not the URL.
+    while end > i + 3 {
+        match b[end - 1] {
+            b'.' | b',' | b';' | b')' | b']' | b'}' => end -= 1,
+            _ => break,
+        }
+    }
+    Some(end)
+}
+
+/// Classify an extracted word.
+pub fn classify_word(word: &str, detect_paths: bool) -> TokenType {
+    if is_integer(word) {
+        TokenType::Integer
+    } else if is_float(word) {
+        TokenType::Float
+    } else if is_ipv4(word) {
+        TokenType::Ipv4
+    } else if detect_paths && is_path(word) {
+        TokenType::Path
+    } else {
+        TokenType::Literal
+    }
+}
+
+fn is_integer(w: &str) -> bool {
+    let b = w.as_bytes();
+    let digits = match b.first() {
+        Some(b'+') | Some(b'-') => &b[1..],
+        _ => b,
+    };
+    !digits.is_empty() && digits.iter().all(u8::is_ascii_digit)
+}
+
+fn is_float(w: &str) -> bool {
+    let b = w.as_bytes();
+    let rest = match b.first() {
+        Some(b'+') | Some(b'-') => &b[1..],
+        _ => b,
+    };
+    let mut parts = rest.splitn(2, |&c| c == b'.');
+    let int_part = parts.next().unwrap_or(&[]);
+    let frac = match parts.next() {
+        Some(f) => f,
+        None => return false,
+    };
+    if int_part.is_empty() || !int_part.iter().all(u8::is_ascii_digit) {
+        return false;
+    }
+    // Optional exponent on the fractional part.
+    let (frac_digits, exp) = match frac.iter().position(|&c| c == b'e' || c == b'E') {
+        Some(p) => (&frac[..p], Some(&frac[p + 1..])),
+        None => (frac, None),
+    };
+    if frac_digits.is_empty() || !frac_digits.iter().all(u8::is_ascii_digit) {
+        return false;
+    }
+    match exp {
+        None => true,
+        Some(e) => {
+            let e = match e.first() {
+                Some(b'+') | Some(b'-') => &e[1..],
+                _ => e,
+            };
+            !e.is_empty() && e.iter().all(u8::is_ascii_digit)
+        }
+    }
+}
+
+fn is_ipv4(w: &str) -> bool {
+    let mut count = 0;
+    for part in w.split('.') {
+        count += 1;
+        if count > 4 || part.is_empty() || part.len() > 3 {
+            return false;
+        }
+        if !part.bytes().all(|c| c.is_ascii_digit()) {
+            return false;
+        }
+        let v: u32 = part.parse().unwrap_or(999);
+        if v > 255 {
+            return false;
+        }
+    }
+    count == 4
+}
+
+/// Path heuristic (the paper's future-work "fourth finite state machine"):
+/// absolute (`/…`), home-relative (`~/…`), or dot-relative (`./…`, `../…`)
+/// words with at least two `/` separators, or absolute words with one
+/// separator and a non-empty tail (`/var`, `/dev/sda1`).
+fn is_path(w: &str) -> bool {
+    let slashes = w.bytes().filter(|&c| c == b'/').count();
+    if slashes == 0 {
+        return false;
+    }
+    let absolute = w.starts_with('/');
+    let relative = w.starts_with("./") || w.starts_with("../") || w.starts_with("~/");
+    if !(absolute || relative) {
+        return false;
+    }
+    // Reject bare "/" and "//" runs with no content.
+    w.bytes().any(|c| c != b'/' && c != b'.' && c != b'~')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers() {
+        assert!(is_integer("0"));
+        assert!(is_integer("12345"));
+        assert!(is_integer("-7"));
+        assert!(is_integer("+42"));
+        assert!(!is_integer("12a"));
+        assert!(!is_integer(""));
+        assert!(!is_integer("-"));
+    }
+
+    #[test]
+    fn floats() {
+        assert!(is_float("3.14"));
+        assert!(is_float("-0.5"));
+        assert!(is_float("1.5e10"));
+        assert!(is_float("2.0E-3"));
+        assert!(!is_float("3."));
+        assert!(!is_float(".5"));
+        assert!(!is_float("1.2.3"));
+        assert!(!is_float("12"));
+    }
+
+    #[test]
+    fn ipv4() {
+        assert!(is_ipv4("10.0.0.1"));
+        assert!(is_ipv4("255.255.255.255"));
+        assert!(!is_ipv4("256.1.1.1"));
+        assert!(!is_ipv4("1.2.3"));
+        assert!(!is_ipv4("1.2.3.4.5"));
+        assert!(!is_ipv4("a.b.c.d"));
+    }
+
+    #[test]
+    fn urls() {
+        assert_eq!(match_url("https://example.com/x?q=1 rest"), Some(25));
+        assert_eq!(match_url("http://h:8080/p"), Some(15));
+        assert_eq!(match_url("ftp://ftp.example.org."), Some(21)); // trailing dot stripped
+        assert_eq!(match_url("notaurl"), None);
+        assert_eq!(match_url("http://"), None);
+        assert_eq!(match_url("://x"), None);
+    }
+
+    #[test]
+    fn paths() {
+        assert!(is_path("/var/log/messages"));
+        assert!(is_path("/dev/sda1"));
+        assert!(is_path("./run.sh"));
+        assert!(is_path("../x/y"));
+        assert!(is_path("~/conf"));
+        assert!(!is_path("a/b")); // relative without ./ prefix: ambiguous, skip
+        assert!(!is_path("/"));
+        assert!(!is_path("word"));
+    }
+
+    #[test]
+    fn classify() {
+        assert_eq!(classify_word("8080", false), TokenType::Integer);
+        assert_eq!(classify_word("0.25", false), TokenType::Float);
+        assert_eq!(classify_word("192.168.1.1", false), TokenType::Ipv4);
+        assert_eq!(classify_word("/etc/passwd", true), TokenType::Path);
+        assert_eq!(classify_word("/etc/passwd", false), TokenType::Literal);
+        assert_eq!(classify_word("hello", false), TokenType::Literal);
+        assert_eq!(classify_word("64*", false), TokenType::Literal);
+    }
+
+    #[test]
+    fn break_chars() {
+        for c in [',', ';', ':', '=', '(', ')', '[', ']', '"'] {
+            assert!(is_break_char(c));
+        }
+        for c in ['.', '/', '@', '-', '_', '%', '*'] {
+            assert!(!is_break_char(c));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The hexadecimal finite state machine.
+//!
+//! Recognises MAC addresses, IPv6 addresses and generic hexadecimal strings.
+//! These must be recognised *before* word splitting because their separators
+//! (`:`/`-`) are otherwise token-break characters.
+
+use crate::token::TokenType;
+
+/// Attempt to match a hexadecimal entity at the start of `s`.
+///
+/// Returns the matched byte length and the token type. Matching rules:
+///
+/// * **MAC**: exactly six groups of exactly two hex digits, all separated by
+///   `:` or all by `-` (`00:1a:2b:3c:4d:5e`).
+/// * **IPv6**: hex-digit groups of 1–4 separated by `:`, and either a `::`
+///   compression or exactly eight groups. Requiring `::` or the full eight
+///   groups avoids misreading times (`12:34:56`) or odd ratios (`1:2`) as
+///   addresses.
+/// * **Hex string**: `0x` followed by one or more hex digits, or a bare run of
+///   at least eight hex digits containing at least one decimal digit *and*
+///   one letter (a pure digit run is an integer; a pure `a-f` word such as
+///   `accede` is English).
+pub fn match_at(s: &str) -> Option<(usize, TokenType)> {
+    let b = s.as_bytes();
+    if let Some(len) = match_mac(b) {
+        return Some((len, TokenType::Mac));
+    }
+    if let Some(len) = match_ipv6(b) {
+        return Some((len, TokenType::Ipv6));
+    }
+    if let Some(len) = match_hex_string(b) {
+        return Some((len, TokenType::Hex));
+    }
+    None
+}
+
+fn is_hex(c: u8) -> bool {
+    c.is_ascii_hexdigit()
+}
+
+fn match_mac(b: &[u8]) -> Option<usize> {
+    // Six groups of two hex digits with a uniform separator.
+    if b.len() < 17 {
+        return None;
+    }
+    let sep = b[2];
+    if sep != b':' && sep != b'-' {
+        return None;
+    }
+    for group in 0..6 {
+        let at = group * 3;
+        if !is_hex(b[at]) || !is_hex(b[at + 1]) {
+            return None;
+        }
+        if group < 5 && b[at + 2] != sep {
+            return None;
+        }
+    }
+    // Must not be followed by more hex/separator content (e.g. an IPv6
+    // address that happens to start with six 2-digit groups).
+    if b.len() > 17 && (b[17] == sep || is_hex(b[17])) {
+        return None;
+    }
+    Some(17)
+}
+
+fn match_ipv6(b: &[u8]) -> Option<usize> {
+    let mut i = 0usize;
+    let mut groups = 0usize;
+    let mut has_compression = false;
+    // Leading `::`
+    if b.len() >= 2 && b[0] == b':' && b[1] == b':' {
+        has_compression = true;
+        i = 2;
+    }
+    loop {
+        // One group of 1–4 hex digits.
+        let start = i;
+        while i < b.len() && i - start < 4 && is_hex(b[i]) {
+            i += 1;
+        }
+        if i == start {
+            break;
+        }
+        groups += 1;
+        // Group must be followed by `:`, or end the address.
+        if i < b.len() && b[i] == b':' {
+            if i + 1 < b.len() && b[i + 1] == b':' {
+                if has_compression {
+                    // A second `::` is invalid; stop before it.
+                    break;
+                }
+                has_compression = true;
+                i += 2;
+            } else if i + 1 < b.len() && is_hex(b[i + 1]) {
+                i += 1;
+            } else {
+                // Trailing lone `:` is not part of the address.
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    if groups == 0 && !has_compression {
+        return None;
+    }
+    let valid = (has_compression && groups >= 1 && groups <= 8) || groups == 8;
+    if !valid {
+        return None;
+    }
+    // Heuristic guard: an address with a `::` but only decimal digits and few
+    // groups is plausible; full 8-group addresses are always accepted. A bare
+    // `::` with nothing else (i == 2, groups == 0) is rejected above.
+    if i == 0 {
+        return None;
+    }
+    Some(i)
+}
+
+fn match_hex_string(b: &[u8]) -> Option<usize> {
+    // `0x` prefix form.
+    if b.len() >= 3 && b[0] == b'0' && (b[1] == b'x' || b[1] == b'X') && is_hex(b[2]) {
+        let mut i = 2;
+        while i < b.len() && is_hex(b[i]) {
+            i += 1;
+        }
+        return Some(i);
+    }
+    // Bare hex run.
+    let mut i = 0usize;
+    let mut digits = 0usize;
+    let mut letters = 0usize;
+    while i < b.len() && is_hex(b[i]) {
+        if b[i].is_ascii_digit() {
+            digits += 1;
+        } else {
+            letters += 1;
+        }
+        i += 1;
+    }
+    if i >= 8 && digits > 0 && letters > 0 {
+        // Must not continue into a larger word (`deadbeef01ghost`).
+        if i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            return None;
+        }
+        Some(i)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenType;
+
+    #[test]
+    fn mac_colon() {
+        assert_eq!(match_at("00:1a:2b:3c:4d:5e up"), Some((17, TokenType::Mac)));
+    }
+
+    #[test]
+    fn mac_dash() {
+        assert_eq!(match_at("00-1A-2B-3C-4D-5E"), Some((17, TokenType::Mac)));
+    }
+
+    #[test]
+    fn mac_mixed_separator_rejected() {
+        assert_eq!(match_at("00:1a-2b:3c:4d:5e"), None);
+    }
+
+    #[test]
+    fn ipv6_full() {
+        let a = "2001:0db8:85a3:0000:0000:8a2e:0370:7334";
+        assert_eq!(match_at(a), Some((a.len(), TokenType::Ipv6)));
+    }
+
+    #[test]
+    fn ipv6_compressed() {
+        assert_eq!(match_at("fe80::1 dev"), Some((7, TokenType::Ipv6)));
+        assert_eq!(match_at("::1"), Some((3, TokenType::Ipv6)));
+        assert_eq!(match_at("2001:db8::8a2e:370:7334"), Some((23, TokenType::Ipv6)));
+    }
+
+    #[test]
+    fn time_like_not_ipv6() {
+        // Only three groups and no `::` — must not be an IPv6 address.
+        assert_eq!(match_at("12:34:56"), None);
+        assert_eq!(match_at("1:2"), None);
+    }
+
+    #[test]
+    fn hex_0x() {
+        assert_eq!(match_at("0xdeadbeef rest"), Some((10, TokenType::Hex)));
+        assert_eq!(match_at("0x1"), Some((3, TokenType::Hex)));
+    }
+
+    #[test]
+    fn bare_hex_run() {
+        assert_eq!(
+            match_at("2908692bdd6cb4ec"),
+            Some((16, TokenType::Hex))
+        );
+    }
+
+    #[test]
+    fn pure_digits_not_hex() {
+        assert_eq!(match_at("12345678"), None);
+    }
+
+    #[test]
+    fn pure_letters_not_hex() {
+        assert_eq!(match_at("deadbeef"), None);
+    }
+
+    #[test]
+    fn hex_embedded_in_word_rejected() {
+        assert_eq!(match_at("deadbeef01ghost"), None);
+    }
+
+    #[test]
+    fn eight_groups_is_ipv6_not_mac() {
+        // Eight 2-digit groups: not a MAC (six groups exactly), but a valid
+        // full IPv6 address.
+        assert_eq!(match_at("00:1a:2b:3c:4d:5e:6f:70"), Some((23, TokenType::Ipv6)));
+    }
+}

@@ -1,0 +1,302 @@
+//! The Sequence-RTG command-line tool.
+//!
+//! Mirrors the production deployment in the paper (§IV, Fig. 6): syslog-ng
+//! pipes JSON records — `{"service": "...", "message": "..."}`, one per
+//! line — to standard input; Sequence-RTG batches them, analyses each full
+//! batch, and keeps the pattern database up to date. `--export` prints the
+//! stored patterns in a chosen format for review and promotion.
+
+use patterndb::export::{export_patterns, ExportFormat, ExportSelection};
+use patterndb::PatternStore;
+use sequence_rtg::{Pipeline, RtgConfig, SequenceRtg, StreamIngester};
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+struct Options {
+    db: Option<String>,
+    batch_size: usize,
+    threads: usize,
+    save_threshold: u64,
+    seminal: bool,
+    extended: bool,
+    export: Option<ExportFormat>,
+    min_count: u64,
+    max_complexity: f64,
+    quiet: bool,
+    review: bool,
+    resolve_conflicts: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            db: None,
+            batch_size: 100_000,
+            threads: 1,
+            save_threshold: 0,
+            seminal: false,
+            extended: false,
+            export: None,
+            min_count: 1,
+            max_complexity: 1.0,
+            quiet: false,
+            review: false,
+            resolve_conflicts: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => opts.db = Some(value(&mut i, "--db")?),
+            "--batch-size" => {
+                opts.batch_size = value(&mut i, "--batch-size")?
+                    .parse()
+                    .map_err(|_| "--batch-size expects a positive integer".to_string())?
+            }
+            "--threads" => {
+                opts.threads = value(&mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?
+            }
+            "--save-threshold" => {
+                opts.save_threshold = value(&mut i, "--save-threshold")?
+                    .parse()
+                    .map_err(|_| "--save-threshold expects an integer".to_string())?
+            }
+            "--seminal" => opts.seminal = true,
+            "--extended" => opts.extended = true,
+            "--export" => {
+                let v = value(&mut i, "--export")?;
+                opts.export = Some(
+                    ExportFormat::from_flag(&v)
+                        .ok_or_else(|| format!("unknown export format {v:?} (syslog-ng | yaml | grok)"))?,
+                )
+            }
+            "--min-count" => {
+                opts.min_count = value(&mut i, "--min-count")?
+                    .parse()
+                    .map_err(|_| "--min-count expects an integer".to_string())?
+            }
+            "--max-complexity" => {
+                opts.max_complexity = value(&mut i, "--max-complexity")?
+                    .parse()
+                    .map_err(|_| "--max-complexity expects a float".to_string())?
+            }
+            "--quiet" => opts.quiet = true,
+            "--review" => opts.review = true,
+            "--resolve-conflicts" => opts.resolve_conflicts = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: sequence-rtg [--db DIR] [--batch-size N] [--threads N] [--save-threshold N] [--seminal] [--extended] [--export syslog-ng|yaml|grok] [--min-count N] [--max-complexity F] [--review] [--resolve-conflicts] [--quiet]");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let mut config = if opts.seminal {
+        RtgConfig::seminal()
+    } else if opts.extended {
+        RtgConfig::extended()
+    } else {
+        RtgConfig::default()
+    };
+    config.batch_size = opts.batch_size;
+    config.save_threshold = opts.save_threshold;
+
+    let store = match &opts.db {
+        Some(dir) => match PatternStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot open pattern database at {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => PatternStore::in_memory(),
+    };
+    let rtg = match SequenceRtg::new(store, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot load patterns: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pipeline = Pipeline::new(rtg).with_threads(opts.threads);
+
+    // The data stream ingester: stdin, line-delimited JSON records.
+    let stdin = std::io::stdin();
+    let mut ingester = StreamIngester::new(BufReader::new(stdin.lock()), opts.batch_size);
+    loop {
+        match ingester.next_batch() {
+            Ok(None) => break,
+            Ok(Some(batch)) => {
+                let now = now_unix();
+                for record in batch {
+                    match pipeline.push(record, now) {
+                        Ok(Some(report)) if !opts.quiet => {
+                            eprintln!(
+                                "[batch {}] received={} matched={} analyzed={} new_patterns={} services={}",
+                                pipeline.batches_run(),
+                                report.received,
+                                report.matched_known,
+                                report.analyzed,
+                                report.new_patterns,
+                                report.services,
+                            );
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            eprintln!("error: batch analysis failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: reading stream: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match pipeline.flush(now_unix()) {
+        Ok(Some(report)) if !opts.quiet => {
+            eprintln!(
+                "[final batch {}] received={} matched={} analyzed={} new_patterns={}",
+                pipeline.batches_run(),
+                report.received,
+                report.matched_known,
+                report.analyzed,
+                report.new_patterns,
+            );
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: final batch analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stats = ingester.stats();
+    if !opts.quiet {
+        eprintln!(
+            "stream done: lines={} records={} malformed={} empty={} | known patterns={}",
+            stats.lines,
+            stats.records,
+            stats.malformed,
+            stats.empty,
+            pipeline.engine_mut().total_known_patterns(),
+        );
+        for (line, err) in ingester.errors() {
+            eprintln!("  line {line}: {err}");
+        }
+    }
+
+    if opts.review {
+        let store = pipeline.engine_mut().store_mut();
+        // Multi-match conflicts first ("the most correct pattern would be
+        // promoted and the other discarded").
+        let candidates = match store.patterns(None) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot list candidates: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let conflicts = patterndb::find_conflicts(&candidates);
+        if !conflicts.is_empty() {
+            println!("multi-match conflicts ({}):", conflicts.len());
+            for c in conflicts.iter().take(20) {
+                println!("  {} vs {}  example: {:?}", &c.pattern_a[..8], &c.pattern_b[..8], c.example);
+            }
+            if opts.resolve_conflicts {
+                let mut resolved = 0;
+                let mut dropped: std::collections::HashSet<String> = Default::default();
+                for c in &conflicts {
+                    if dropped.contains(&c.pattern_a) || dropped.contains(&c.pattern_b) {
+                        continue;
+                    }
+                    if let Ok((_w, l)) = patterndb::resolve_conflict(store, c) {
+                        dropped.insert(l);
+                        resolved += 1;
+                    }
+                }
+                println!("resolved {resolved} conflicts (kept the more specific pattern)");
+            }
+        }
+        // The priority-ordered review queue.
+        match patterndb::ReviewQueue::build(store) {
+            Ok(queue) => {
+                println!("
+review queue ({} candidates):", queue.items().len());
+                println!("{:>8} {:>8} {:>10} {:<10} pattern", "priority", "count", "complexity", "service");
+                for item in queue.top(25) {
+                    println!(
+                        "{:>8.2} {:>8} {:>10.2} {:<10} {}",
+                        item.priority,
+                        item.pattern.count,
+                        item.pattern.complexity,
+                        item.pattern.service,
+                        item.pattern.pattern_text,
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot build review queue: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(format) = opts.export {
+        let selection =
+            ExportSelection {
+                min_count: opts.min_count,
+                max_complexity: opts.max_complexity,
+                ..Default::default()
+            };
+        match export_patterns(pipeline.engine_mut().store_mut(), format, selection) {
+            Ok(doc) => {
+                let mut stdout = std::io::stdout();
+                if stdout.write_all(doc.as_bytes()).is_err() {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.db.is_some() {
+        if let Err(e) = pipeline.engine_mut().store_mut().checkpoint() {
+            eprintln!("error: checkpoint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

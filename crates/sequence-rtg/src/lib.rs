@@ -1,0 +1,65 @@
+//! # sequence-rtg
+//!
+//! The paper's contribution: **Sequence-RTG** (Sequence-Ready-To-Go), a
+//! production-ready, efficient pattern-mining tool for system log messages,
+//! built on the `sequence-core` re-implementation of the seminal Sequence
+//! framework.
+//!
+//! The six limitations of Sequence the paper addresses, and where each fix
+//! lives:
+//!
+//! 1. **Single-file input** → [`ingest::StreamIngester`] + [`record`]: a
+//!    stream of composite JSON records (`{"service", "message"}`) with
+//!    configurable batch size.
+//! 2. **Flat-file pattern output** → the [`patterndb`] crate: a SQL-backed
+//!    persistent pattern store with SHA1 ids, statistics and examples.
+//! 3. **Whitespace inserted between tokens** → `is_space_before` in
+//!    `sequence-core` and exact-spacing pattern reconstruction.
+//! 4. **Too many variables** → analyser quality control (demoting
+//!    never-varying variables), enabled by default in [`RtgConfig`].
+//! 5. **Unbounded analysis tries** → [`SequenceRtg::analyze_by_service`]:
+//!    partition by service, parse known messages first, partition the rest
+//!    by token count, and bound everything by the batch size.
+//! 6. **Multi-line messages** → first-line truncation + `%...%` ignore-rest
+//!    markers, counted per batch in [`BatchReport`].
+//!
+//! Extensions implemented from the paper's future-work list: a path FSM and
+//! single-digit time parts (scanner options), semi-constant variable
+//! splitting ([`semiconst`]), and in-process service-sharded parallel
+//! analysis ([`parallel`], crossbeam-based).
+//!
+//! ```
+//! use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+//!
+//! let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+//! let batch: Vec<LogRecord> = [
+//!     "Accepted password for root from 10.2.3.4 port 22 ssh2",
+//!     "Accepted password for admin from 10.9.9.9 port 2200 ssh2",
+//!     "Accepted password for guest from 172.16.0.5 port 22022 ssh2",
+//! ].iter().map(|m| LogRecord::new("sshd", *m)).collect();
+//!
+//! let report = rtg.analyze_by_service(&batch, 1_630_000_000).unwrap();
+//! assert_eq!(report.new_patterns, 1);
+//!
+//! // The next batch parses against the stored pattern instead of re-mining.
+//! let next = vec![LogRecord::new("sshd",
+//!     "Accepted password for eve from 203.0.113.9 port 4022 ssh2")];
+//! let report = rtg.analyze_by_service(&next, 1_630_000_060).unwrap();
+//! assert_eq!(report.matched_known, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze_by_service;
+pub mod config;
+pub mod ingest;
+pub mod parallel;
+pub mod pipeline;
+pub mod record;
+pub mod semiconst;
+
+pub use analyze_by_service::{BatchReport, SequenceRtg};
+pub use config::RtgConfig;
+pub use ingest::{IngestStats, StreamIngester};
+pub use pipeline::Pipeline;
+pub use record::{LogRecord, RecordError};

@@ -1,0 +1,234 @@
+//! Parallel per-service analysis.
+//!
+//! The paper notes that "if the capacity of Sequence-RTG needed to be scaled
+//! up, the messages could be divided simply by sending groups of services to
+//! any number (of) instances of Sequence-RTG [...] as there is no crossover
+//! with patterns between different services". This module implements that
+//! scale-out *inside* one process: services are sharded across worker
+//! threads (crossbeam scoped threads over the shared, read-only pattern
+//! sets); the compute-heavy scan + parse + analyse runs in parallel and the
+//! single pattern store is updated afterwards by the coordinating thread.
+
+use crate::analyze_by_service::{BatchReport, SequenceRtg};
+use crate::record::LogRecord;
+use crate::semiconst;
+use patterndb::StoreError;
+use sequence_core::analyzer::DiscoveredPattern;
+use sequence_core::TokenizedMessage;
+use std::collections::HashMap;
+
+/// What one worker produces for one service.
+struct ServiceOutcome {
+    service: String,
+    /// pattern id → number of parse-step matches.
+    match_counts: HashMap<String, u64>,
+    /// Discoveries from the unmatched messages.
+    discovered: Vec<DiscoveredPattern>,
+    report: BatchReport,
+}
+
+impl SequenceRtg {
+    /// Parallel variant of
+    /// [`analyze_by_service`](SequenceRtg::analyze_by_service): shards
+    /// services across `threads` workers. Results are identical to the
+    /// sequential method (the same per-service partitions are analysed by
+    /// the same code); only wall-clock time differs.
+    pub fn analyze_by_service_parallel(
+        &mut self,
+        batch: &[LogRecord],
+        now: u64,
+        threads: usize,
+    ) -> Result<BatchReport, StoreError> {
+        let threads = threads.max(1);
+        let mut report = BatchReport { received: batch.len() as u64, ..Default::default() };
+        let mut by_service: HashMap<&str, Vec<&LogRecord>> = HashMap::new();
+        for r in batch {
+            by_service.entry(r.service.as_str()).or_default().push(r);
+        }
+        report.services = by_service.len() as u64;
+        let mut services: Vec<(&str, Vec<&LogRecord>)> = by_service.into_iter().collect();
+        // Largest services first so shards balance.
+        services.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+        let mut shards: Vec<Vec<(&str, Vec<&LogRecord>)>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut shard_load = vec![0usize; threads];
+        for (svc, recs) in services {
+            let lightest =
+                (0..threads).min_by_key(|&i| shard_load[i]).expect("threads >= 1");
+            shard_load[lightest] += recs.len();
+            shards[lightest].push((svc, recs));
+        }
+
+        let scanner = &self.scanner;
+        let analyzer = &self.analyzer;
+        let sets = &self.sets;
+        let config = self.config;
+
+        let outcomes: Vec<ServiceOutcome> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for shard in &shards {
+                handles.push(scope.spawn(move |_| {
+                    let mut results = Vec::new();
+                    for (service, records) in shard {
+                        let mut svc_report = BatchReport::default();
+                        let mut scanned: Vec<TokenizedMessage> =
+                            Vec::with_capacity(records.len());
+                        for r in records.iter() {
+                            let t = scanner.scan(&r.message);
+                            if t.truncated_multiline {
+                                svc_report.multiline += 1;
+                            }
+                            if t.tokens.is_empty() {
+                                svc_report.empty_messages += 1;
+                            }
+                            scanned.push(t);
+                        }
+                        // Parse-first against the shared read-only sets.
+                        let set = sets.get(*service);
+                        let mut match_counts: HashMap<String, u64> = HashMap::new();
+                        let mut unmatched: Vec<TokenizedMessage> = Vec::new();
+                        for msg in scanned {
+                            if msg.tokens.is_empty() {
+                                continue;
+                            }
+                            match set.and_then(|s| s.match_message(&msg)) {
+                                Some(outcome) => {
+                                    *match_counts.entry(outcome.pattern_id).or_insert(0) += 1;
+                                    svc_report.matched_known += 1;
+                                }
+                                None => unmatched.push(msg),
+                            }
+                        }
+                        svc_report.analyzed = unmatched.len() as u64;
+                        let mut discovered = analyzer.analyze(&unmatched);
+                        if config.semi_constant_split {
+                            discovered = semiconst::split_semi_constant(
+                                discovered,
+                                &unmatched,
+                                config.semi_constant_max_values,
+                            );
+                        }
+                        results.push(ServiceOutcome {
+                            service: service.to_string(),
+                            match_counts,
+                            discovered,
+                            report: svc_report,
+                        });
+                    }
+                    results
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+
+        // Serial merge into the store and the in-memory sets.
+        for outcome in outcomes {
+            report.matched_known += outcome.report.matched_known;
+            report.analyzed += outcome.report.analyzed;
+            report.multiline += outcome.report.multiline;
+            report.empty_messages += outcome.report.empty_messages;
+            for (id, n) in outcome.match_counts {
+                self.store.record_matches(&id, n, now)?;
+            }
+            for d in &outcome.discovered {
+                let (id, inserted) = self.store.upsert_discovered(&outcome.service, d, now)?;
+                if inserted {
+                    report.new_patterns += 1;
+                    self.sets
+                        .entry(outcome.service.clone())
+                        .or_default()
+                        .insert(id, d.pattern.clone());
+                } else {
+                    report.updated_patterns += 1;
+                }
+            }
+        }
+        if self.config.save_threshold > 0 {
+            let pruned = self.store.prune_below_threshold(self.config.save_threshold)?;
+            if pruned > 0 {
+                let (sets, _bad) = self.store.load_pattern_sets()?;
+                self.sets = sets;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtgConfig;
+
+    fn multi_service_batch() -> Vec<LogRecord> {
+        let mut batch = Vec::new();
+        for svc in ["sshd", "nginx", "cron", "kernel", "postfix"] {
+            for i in 0..20 {
+                batch.push(LogRecord::new(
+                    svc,
+                    format!("{svc} event number {i} from host{} done", i % 4),
+                ));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let batch = multi_service_batch();
+        let mut seq = SequenceRtg::in_memory(RtgConfig::default());
+        let r1 = seq.analyze_by_service(&batch, 7).unwrap();
+        let mut par = SequenceRtg::in_memory(RtgConfig::default());
+        let r2 = par.analyze_by_service_parallel(&batch, 7, 4).unwrap();
+
+        assert_eq!(r1.received, r2.received);
+        assert_eq!(r1.matched_known, r2.matched_known);
+        assert_eq!(r1.analyzed, r2.analyzed);
+        assert_eq!(r1.new_patterns, r2.new_patterns);
+        assert_eq!(r1.services, r2.services);
+
+        let mut p1: Vec<(String, String, u64)> = seq
+            .store_mut()
+            .patterns(None)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.service, p.pattern_text, p.count))
+            .collect();
+        let mut p2: Vec<(String, String, u64)> = par
+            .store_mut()
+            .patterns(None)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.service, p.pattern_text, p.count))
+            .collect();
+        p1.sort();
+        p2.sort();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn parallel_second_batch_parses_against_first() {
+        let batch = multi_service_batch();
+        let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+        rtg.analyze_by_service_parallel(&batch, 1, 3).unwrap();
+        let r = rtg.analyze_by_service_parallel(&batch, 2, 3).unwrap();
+        assert_eq!(r.matched_known, r.received);
+        assert_eq!(r.new_patterns, 0);
+    }
+
+    #[test]
+    fn single_thread_degenerate_case() {
+        let batch = multi_service_batch();
+        let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+        let r = rtg.analyze_by_service_parallel(&batch, 1, 1).unwrap();
+        assert_eq!(r.received, 100);
+    }
+
+    #[test]
+    fn more_threads_than_services() {
+        let batch = vec![LogRecord::new("only", "one service here")];
+        let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+        let r = rtg.analyze_by_service_parallel(&batch, 1, 16).unwrap();
+        assert_eq!(r.services, 1);
+        assert_eq!(r.new_patterns, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The continuous production pipeline.
+//!
+//! In production (paper §IV, Fig. 6), syslog-ng pipes unmatched messages to
+//! Sequence-RTG's standard input; Sequence-RTG buffers them and runs one
+//! analysis per full batch. [`Pipeline`] is that loop as a reusable
+//! component: feed records in, get a [`BatchReport`] back whenever a batch
+//! completes.
+
+use crate::analyze_by_service::{BatchReport, SequenceRtg};
+use crate::record::LogRecord;
+use patterndb::StoreError;
+
+/// A batching wrapper around [`SequenceRtg`].
+#[derive(Debug)]
+pub struct Pipeline {
+    rtg: SequenceRtg,
+    pending: Vec<LogRecord>,
+    batches_run: u64,
+    /// Worker threads for each analysis run (1 = sequential).
+    threads: usize,
+}
+
+impl Pipeline {
+    /// Wrap an engine; batch size comes from the engine's config.
+    pub fn new(rtg: SequenceRtg) -> Pipeline {
+        Pipeline { rtg, pending: Vec::new(), batches_run: 0, threads: 1 }
+    }
+
+    /// Use `threads` workers per analysis run.
+    pub fn with_threads(mut self, threads: usize) -> Pipeline {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut SequenceRtg {
+        &mut self.rtg
+    }
+
+    /// Number of records waiting for a full batch.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of completed analysis runs.
+    pub fn batches_run(&self) -> u64 {
+        self.batches_run
+    }
+
+    /// Add one record; runs an analysis when the batch fills and returns its
+    /// report.
+    pub fn push(&mut self, record: LogRecord, now: u64) -> Result<Option<BatchReport>, StoreError> {
+        self.pending.push(record);
+        if self.pending.len() >= self.rtg.config().batch_size {
+            return Ok(Some(self.run_batch(now)?));
+        }
+        Ok(None)
+    }
+
+    /// Analyse whatever is pending, even a partial batch. `None` when empty.
+    pub fn flush(&mut self, now: u64) -> Result<Option<BatchReport>, StoreError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.run_batch(now)?))
+    }
+
+    fn run_batch(&mut self, now: u64) -> Result<BatchReport, StoreError> {
+        let batch = std::mem::take(&mut self.pending);
+        self.batches_run += 1;
+        if self.threads > 1 {
+            self.rtg.analyze_by_service_parallel(&batch, now, self.threads)
+        } else {
+            self.rtg.analyze_by_service(&batch, now)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtgConfig;
+
+    fn engine(batch_size: usize) -> SequenceRtg {
+        SequenceRtg::in_memory(RtgConfig { batch_size, ..RtgConfig::default() })
+    }
+
+    #[test]
+    fn batches_trigger_at_configured_size() {
+        let mut p = Pipeline::new(engine(3));
+        assert!(p.push(LogRecord::new("s", "alpha beta 1"), 1).unwrap().is_none());
+        assert!(p.push(LogRecord::new("s", "alpha beta 2"), 1).unwrap().is_none());
+        let report = p.push(LogRecord::new("s", "alpha beta 3"), 1).unwrap().unwrap();
+        assert_eq!(report.received, 3);
+        assert_eq!(p.pending_len(), 0);
+        assert_eq!(p.batches_run(), 1);
+    }
+
+    #[test]
+    fn flush_handles_partial_batches() {
+        let mut p = Pipeline::new(engine(100));
+        p.push(LogRecord::new("s", "only one"), 1).unwrap();
+        let report = p.flush(1).unwrap().unwrap();
+        assert_eq!(report.received, 1);
+        assert!(p.flush(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn knowledge_carries_across_batches() {
+        let mut p = Pipeline::new(engine(2));
+        for i in 0..2 {
+            p.push(LogRecord::new("s", format!("worker {i} spawned")), 1).unwrap();
+        }
+        // Second batch: same event shape should parse, not re-analyse.
+        p.push(LogRecord::new("s", "worker 77 spawned"), 2).unwrap();
+        let report = p.push(LogRecord::new("s", "worker 78 spawned"), 2).unwrap().unwrap();
+        assert_eq!(report.matched_known, 2);
+        assert_eq!(report.new_patterns, 0);
+    }
+
+    #[test]
+    fn parallel_pipeline() {
+        let mut p = Pipeline::new(engine(4)).with_threads(2);
+        for svc in ["a", "b", "c", "d"] {
+            p.push(LogRecord::new(svc, "ping pong"), 1).unwrap();
+        }
+        assert_eq!(p.batches_run(), 1);
+        assert_eq!(p.engine_mut().total_known_patterns(), 4);
+    }
+}

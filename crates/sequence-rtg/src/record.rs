@@ -1,0 +1,131 @@
+//! The stream item: one log record from one service.
+//!
+//! "Each item in the stream is simply expected to be using a JSON format with
+//! only two fields: `service` (the source system) from where the message
+//! originated and the unaltered log `message`."
+
+use std::fmt;
+
+/// One log record of the composite input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The source system ("service") the message came from.
+    pub service: String,
+    /// The unaltered log message.
+    pub message: String,
+}
+
+/// Why a stream line could not be turned into a [`LogRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    /// The line is not valid JSON.
+    Json(jsonlite::ParseError),
+    /// The JSON value is not an object.
+    NotAnObject,
+    /// `service` missing or not a string.
+    MissingService,
+    /// `message` missing or not a string.
+    MissingMessage,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Json(e) => write!(f, "invalid JSON: {e}"),
+            RecordError::NotAnObject => write!(f, "stream item is not a JSON object"),
+            RecordError::MissingService => write!(f, "missing string field 'service'"),
+            RecordError::MissingMessage => write!(f, "missing string field 'message'"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl LogRecord {
+    /// Construct a record directly.
+    pub fn new(service: impl Into<String>, message: impl Into<String>) -> LogRecord {
+        LogRecord { service: service.into(), message: message.into() }
+    }
+
+    /// Parse one JSON stream line.
+    pub fn from_json_line(line: &str) -> Result<LogRecord, RecordError> {
+        let v = jsonlite::parse(line.trim()).map_err(RecordError::Json)?;
+        let obj = v.as_object().ok_or(RecordError::NotAnObject)?;
+        let service = obj
+            .get("service")
+            .and_then(|s| s.as_str())
+            .ok_or(RecordError::MissingService)?
+            .to_string();
+        let message = obj
+            .get("message")
+            .and_then(|s| s.as_str())
+            .ok_or(RecordError::MissingMessage)?
+            .to_string();
+        Ok(LogRecord { service, message })
+    }
+
+    /// Serialise back to the stream format (multi-line messages stay one
+    /// JSON line thanks to `\n` escaping — this is how Sequence-RTG "can
+    /// process the complete message as one unit", limitation 6).
+    pub fn to_json_line(&self) -> String {
+        jsonlite::to_string(&jsonlite::object([
+            ("service", self.service.as_str()),
+            ("message", self.message.as_str()),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stream_item() {
+        let r = LogRecord::from_json_line(
+            r#"{"service": "sshd", "message": "Accepted password for root"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.service, "sshd");
+        assert_eq!(r.message, "Accepted password for root");
+    }
+
+    #[test]
+    fn round_trip_with_multiline_message() {
+        let r = LogRecord::new("app", "panic: boom\n  at frame 1\n  at frame 2");
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(LogRecord::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn extra_fields_tolerated() {
+        let r = LogRecord::from_json_line(
+            r#"{"service":"x","message":"m","host":"ignored"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.service, "x");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(LogRecord::from_json_line("not json"), Err(RecordError::Json(_))));
+        assert!(matches!(LogRecord::from_json_line("[1,2]"), Err(RecordError::NotAnObject)));
+        assert!(matches!(
+            LogRecord::from_json_line(r#"{"message":"m"}"#),
+            Err(RecordError::MissingService)
+        ));
+        assert!(matches!(
+            LogRecord::from_json_line(r#"{"service":"s"}"#),
+            Err(RecordError::MissingMessage)
+        ));
+        assert!(matches!(
+            LogRecord::from_json_line(r#"{"service":1,"message":"m"}"#),
+            Err(RecordError::MissingService)
+        ));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert!(LogRecord::from_json_line("  {\"service\":\"s\",\"message\":\"m\"}  \n").is_ok());
+    }
+}

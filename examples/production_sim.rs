@@ -1,0 +1,35 @@
+//! A compact version of the paper's production story (Fig. 6 + Fig. 7): a
+//! promoted pattern database filters the stream, Sequence-RTG mines the
+//! unmatched remainder, and periodic administrator reviews promote strong
+//! candidates — watch the unmatched ratio fall.
+//!
+//! ```text
+//! cargo run --release --example production_sim
+//! ```
+
+use sequence_rtg_repro::evalharness::production::{render_fig7, simulate, SimConfig};
+
+fn main() {
+    let cfg = SimConfig {
+        days: 30,
+        daily_messages: 4_000,
+        services: 40,
+        review_interval: 3,
+        ..SimConfig::default()
+    };
+    println!(
+        "simulating {} days of production ({} msgs/day, {} services, review every {} days)\n",
+        cfg.days, cfg.daily_messages, cfg.services, cfg.review_interval
+    );
+    let stats = simulate(cfg);
+    print!("{}", render_fig7(&stats, 2));
+
+    let first = stats.first().unwrap();
+    let last = stats.last().unwrap();
+    println!("\nheadline: unmatched {:.0}% -> {:.0}%", first.unmatched_pct, last.unmatched_pct);
+    println!("(the paper reports 75-80% -> ~15% over 60 days at CC-IN2P3)");
+    println!(
+        "batch fill time grew from {:.0} to {:.0} minutes as promotions drained the unknown stream",
+        first.batch_fill_minutes, last.batch_fill_minutes
+    );
+}

@@ -1,0 +1,112 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use sequence_rtg_repro::sequence_core::{Analyzer, Pattern, Scanner, ScannerOptions};
+
+/// Strategy: log-message-ish strings (printable ASCII words, numbers, IPs,
+/// punctuation, the odd timestamp).
+fn arb_message() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_.-]{0,11}",
+        "[0-9]{1,8}",
+        "(10|192)\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
+        Just("pid=1234".to_string()),
+        Just("[core]".to_string()),
+        Just("2021-09-08 12:34:56".to_string()),
+        Just("0xdeadbeef".to_string()),
+        Just("done.".to_string()),
+    ];
+    prop::collection::vec(word, 1..10).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The scanner's `is_space_before` bookkeeping reconstructs any
+    /// single-spaced message exactly (limitation 3).
+    #[test]
+    fn scanner_reconstructs_single_spaced_messages(msg in arb_message()) {
+        let t = Scanner::new().scan(&msg);
+        prop_assert_eq!(t.reconstruct(), msg);
+    }
+
+    /// Scanning is total and deterministic on arbitrary input.
+    #[test]
+    fn scanner_total_and_deterministic(msg in "\\PC{0,200}") {
+        let a = Scanner::new().scan(&msg);
+        let b = Scanner::new().scan(&msg);
+        prop_assert_eq!(&a, &b);
+        let ext = Scanner::with_options(ScannerOptions::extended()).scan(&msg);
+        prop_assert_eq!(ext.raw, msg);
+    }
+
+    /// Every message that contributed to a mined pattern matches that
+    /// pattern (analysis → parsing consistency).
+    #[test]
+    fn members_match_their_pattern(msgs in prop::collection::vec(arb_message(), 1..20)) {
+        let scanner = Scanner::new();
+        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+        let discovered = Analyzer::new().analyze(&scanned);
+        for d in &discovered {
+            for &mi in &d.member_indices {
+                prop_assert!(
+                    d.pattern.match_message(&scanned[mi as usize]).is_some(),
+                    "message {:?} must match its own pattern {:?}",
+                    msgs[mi as usize],
+                    d.pattern.render()
+                );
+            }
+        }
+        // And membership covers every non-empty message exactly once.
+        let mut covered: Vec<u32> = discovered.iter().flat_map(|d| d.member_indices.clone()).collect();
+        covered.sort_unstable();
+        let expected: Vec<u32> = (0..scanned.len() as u32)
+            .filter(|&i| !scanned[i as usize].tokens.is_empty())
+            .collect();
+        prop_assert_eq!(covered, expected);
+    }
+
+    /// Mined patterns survive a render → parse round trip structurally.
+    #[test]
+    fn mined_patterns_round_trip(msgs in prop::collection::vec(arb_message(), 1..12)) {
+        let scanner = Scanner::new();
+        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+        for d in Analyzer::new().analyze(&scanned) {
+            let text = d.pattern.render();
+            match Pattern::parse(&text) {
+                Ok(parsed) => prop_assert_eq!(
+                    parsed.render(), text,
+                    "re-render must be stable"
+                ),
+                // A literal containing `%` is the paper's documented
+                // unknown-tag limitation — acceptable.
+                Err(e) => prop_assert!(
+                    text.contains('%'),
+                    "unexpected parse failure {e} for {text:?}"
+                ),
+            }
+        }
+    }
+
+    /// The pattern id is a pure function of (pattern text, service).
+    #[test]
+    fn pattern_ids_reproducible(text in "[a-z %]{1,40}", svc in "[a-z]{1,12}") {
+        let a = sequence_rtg_repro::patterndb::pattern_id(&text, &svc);
+        let b = sequence_rtg_repro::patterndb::pattern_id(&text, &svc);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 40);
+        let other = sequence_rtg_repro::patterndb::pattern_id(&text, "different");
+        prop_assert_ne!(a, other);
+    }
+
+    /// JSON stream round trip for arbitrary service names and messages
+    /// (including newlines and quotes).
+    #[test]
+    fn stream_record_round_trip(svc in "[a-zA-Z0-9_-]{1,16}", msg in "\\PC{0,120}") {
+        use sequence_rtg_repro::sequence_rtg::LogRecord;
+        let r = LogRecord::new(svc, msg);
+        let line = r.to_json_line();
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(LogRecord::from_json_line(&line).unwrap(), r);
+    }
+}
