@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Hermetic CI for the Sequence-RTG reproduction.
+#
+# The whole pipeline runs with --offline: the workspace has zero crates.io
+# dependencies (see DESIGN.md, "Hermetic builds"), so a network-less runner
+# must be able to build, test, and audit the tree end to end.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> dependency audit: workspace crates only"
+# Every package cargo can see must live in this repository. A single
+# registry/git dependency breaks the offline guarantee, so fail on any
+# `cargo tree` line that is not a workspace member (path = /root/repo/...).
+packages=$(cargo tree --offline --workspace --prefix none --format '{p}' \
+  | sed 's/ (\*)$//' | sed '/^$/d' | sort -u)
+external=$(grep -v "($(pwd)" <<<"${packages}" || true)
+if [[ -n "${external}" ]]; then
+  echo "non-workspace dependencies detected:" >&2
+  echo "${external}" >&2
+  exit 1
+fi
+count=$(wc -l <<<"${packages}")
+echo "    ${count} packages, all in-tree"
+
+echo "CI OK"

@@ -198,7 +198,10 @@ impl VolumeDetector {
 
         // Pass 2: per-service alerts.
         for (service, observed, baseline, z) in &scores {
-            let state = self.services.get_mut(service).expect("scored services exist");
+            let state = self
+                .services
+                .get_mut(service)
+                .expect("scored services exist");
             if *observed == 0.0 {
                 state.consecutive_zero += 1;
                 if state.consecutive_zero == self.config.silence_ticks
@@ -246,13 +249,16 @@ impl VolumeDetector {
         // Pass 3: update every baseline (including fresh services).
         for service in &all {
             let observed = counts.get(service).copied().unwrap_or(0.0);
-            let state = self.services.entry(service.clone()).or_insert_with(|| ServiceState {
-                window: SlidingWindow::new(self.config.window),
-                trend: Ewma::new(self.config.ewma_alpha),
-                ticks_seen: 0,
-                consecutive_zero: 0,
-                silenced: false,
-            });
+            let state = self
+                .services
+                .entry(service.clone())
+                .or_insert_with(|| ServiceState {
+                    window: SlidingWindow::new(self.config.window),
+                    trend: Ewma::new(self.config.ewma_alpha),
+                    ticks_seen: 0,
+                    consecutive_zero: 0,
+                    silenced: false,
+                });
             state.window.push(observed);
             state.trend.update(observed);
             state.ticks_seen += 1;
@@ -285,7 +291,10 @@ mod tests {
                 det.observe(s, *n);
             }
             let alerts = det.end_tick();
-            assert!(alerts.is_empty(), "no alerts during steady state: {alerts:?}");
+            assert!(
+                alerts.is_empty(),
+                "no alerts during steady state: {alerts:?}"
+            );
         }
     }
 
@@ -335,7 +344,10 @@ mod tests {
 
     #[test]
     fn silence_fires_once_after_n_quiet_ticks() {
-        let cfg = DetectorConfig { silence_ticks: 3, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            silence_ticks: 3,
+            ..DetectorConfig::default()
+        };
         let mut det = VolumeDetector::new(cfg);
         warm(&mut det, &[("cron", 60)], 15);
         let mut silence_alerts = 0;
@@ -353,7 +365,10 @@ mod tests {
 
     #[test]
     fn recovery_resets_silence() {
-        let cfg = DetectorConfig { silence_ticks: 2, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            silence_ticks: 2,
+            ..DetectorConfig::default()
+        };
         let mut det = VolumeDetector::new(cfg);
         warm(&mut det, &[("svc", 80)], 15);
         det.end_tick(); // zero tick 1

@@ -50,42 +50,70 @@ pub fn observe_batch(det: &mut VolumeDetector, records: &[sequence_rtg::LogRecor
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use testkit::prop::{self, Config};
+    use testkit::rng::Rng;
+    use testkit::{prop_assert, prop_assert_eq};
 
-    proptest! {
-        /// Constant traffic never alerts, whatever the level or shape.
-        #[test]
-        fn steady_traffic_is_always_quiet(
-            levels in prop::collection::vec(1u64..10_000, 1..6),
-            ticks in 10usize..40,
-        ) {
+    /// The crate's persisted proptest-era regression cases (see
+    /// `proptest-regressions/lib.txt`) are replayed before fresh cases.
+    fn regressions() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions/lib.txt").to_string()
+    }
+
+    /// Jitter body shared by the property and the ported regression case.
+    fn run_jittered(seed: u64) -> Result<(), String> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut det = VolumeDetector::new(DetectorConfig::default());
+        for _ in 0..30 {
+            let n = 1000 + rng.gen_range(0..100) - 50;
+            det.observe("svc", n as u64);
+            let alerts = det.end_tick();
+            prop_assert!(alerts.is_empty(), "seed {seed}: {alerts:?}");
+        }
+        Ok(())
+    }
+
+    /// Constant traffic never alerts, whatever the level or shape.
+    #[test]
+    fn steady_traffic_is_always_quiet() {
+        let strategy = (
+            prop::vec(prop::range(1u64..10_000), 1..6),
+            prop::range(10usize..40),
+        );
+        prop::check(&Config::default(), &strategy, |(levels, ticks)| {
             let mut det = VolumeDetector::new(DetectorConfig::default());
-            for _ in 0..ticks {
+            for _ in 0..*ticks {
                 for (i, &n) in levels.iter().enumerate() {
                     det.observe(&format!("svc{i}"), n);
                 }
                 let alerts = det.end_tick();
                 prop_assert!(alerts.is_empty(), "{alerts:?}");
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Small jitter (±10%) around a level never alerts either.
-        #[test]
-        fn jittered_traffic_is_quiet(seed in 0u64..1000) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut det = VolumeDetector::new(DetectorConfig::default());
-            for _ in 0..30 {
-                let n = 1000 + rng.gen_range(0..100) - 50;
-                det.observe("svc", n as u64);
-                let alerts = det.end_tick();
-                prop_assert!(alerts.is_empty(), "{alerts:?}");
-            }
-        }
+    /// Small jitter (±10%) around a level never alerts either.
+    #[test]
+    fn jittered_traffic_is_quiet() {
+        let config = Config::default().with_regressions(regressions());
+        prop::check(&config, &prop::range(0u64..1000), |&seed| {
+            run_jittered(seed)
+        });
+    }
 
-        /// A 50x burst after warm-up always fires exactly one burst alert.
-        #[test]
-        fn big_burst_always_detected(level in 10u64..1000, ticks in 12usize..30) {
+    /// The historical proptest failure (`lib.txt`: "shrinks to seed = 705")
+    /// as an explicit named case, so it survives the proptest removal.
+    #[test]
+    fn jittered_traffic_regression_seed_705() {
+        run_jittered(705).unwrap();
+    }
+
+    /// A 50x burst after warm-up always fires exactly one burst alert.
+    #[test]
+    fn big_burst_always_detected() {
+        let strategy = (prop::range(10u64..1000), prop::range(12usize..30));
+        prop::check(&Config::default(), &strategy, |&(level, ticks)| {
             let mut det = VolumeDetector::new(DetectorConfig::default());
             for _ in 0..ticks {
                 det.observe("svc", level);
@@ -95,8 +123,9 @@ mod proptests {
             det.observe("svc", level * 50);
             det.observe("other", level);
             let alerts = det.end_tick();
-            prop_assert_eq!(alerts.len(), 1, "{:?}", alerts);
+            prop_assert_eq!(alerts.len(), 1, "{alerts:?}");
             prop_assert_eq!(alerts[0].kind, AlertKind::Burst);
-        }
+            Ok(())
+        });
     }
 }

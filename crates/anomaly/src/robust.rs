@@ -93,7 +93,11 @@ fn median_of(values: &mut [f64]) -> Option<f64> {
     }
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = values.len();
-    Some(if n % 2 == 1 { values[n / 2] } else { (values[n / 2 - 1] + values[n / 2]) / 2.0 })
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    })
 }
 
 /// An exponentially weighted moving average with bias-corrected warm-up,
@@ -108,7 +112,11 @@ pub struct Ewma {
 impl Ewma {
     /// A new EWMA with smoothing factor `alpha` in (0, 1].
     pub fn new(alpha: f64) -> Ewma {
-        Ewma { alpha: alpha.clamp(1e-6, 1.0), value: 0.0, weight: 0.0 }
+        Ewma {
+            alpha: alpha.clamp(1e-6, 1.0),
+            value: 0.0,
+            weight: 0.0,
+        }
     }
 
     /// Incorporate one observation.

@@ -66,7 +66,10 @@ pub fn anonymize(token: &str) -> String {
     }
     let digits = bare.bytes().filter(|b| b.is_ascii_digit()).count();
     // Pure numbers (possibly decorated).
-    if digits > 0 && bare.bytes().all(|b| b.is_ascii_digit() || b == b'.' || b == b'-' || b == b'+')
+    if digits > 0
+        && bare
+            .bytes()
+            .all(|b| b.is_ascii_digit() || b == b'.' || b == b'-' || b == b'+')
     {
         return WILDCARD.to_string();
     }
@@ -258,10 +261,7 @@ mod tests {
 
     #[test]
     fn untouched_text_without_variables() {
-        let r = Ael::new().parse_batch(&lines(&[
-            "shutting down cleanly",
-            "shutting down cleanly",
-        ]));
+        let r = Ael::new().parse_batch(&lines(&["shutting down cleanly", "shutting down cleanly"]));
         assert_eq!(r.event_count(), 1);
         assert_eq!(r.templates[0], "shutting down cleanly");
     }

@@ -31,7 +31,11 @@ pub struct DrainConfig {
 
 impl Default for DrainConfig {
     fn default() -> Self {
-        DrainConfig { depth: 4, similarity_threshold: 0.4, max_children: 100 }
+        DrainConfig {
+            depth: 4,
+            similarity_threshold: 0.4,
+            max_children: 100,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ impl BatchParser for Drain {
             // Descend the fixed-depth prefix.
             let mut node = root;
             for tok in tokens.iter().take(token_levels) {
-                let key = if has_digits(tok) { WILDCARD.to_string() } else { (*tok).to_string() };
+                let key = if has_digits(tok) {
+                    WILDCARD.to_string()
+                } else {
+                    (*tok).to_string()
+                };
                 let full = node.children.len() >= self.config.max_children
                     && !node.children.contains_key(&key);
                 let key = if full { WILDCARD.to_string() } else { key };
@@ -164,20 +172,15 @@ mod tests {
     fn digit_tokens_route_to_wildcard_child() {
         // First tokens differ but both contain digits → same subtree and
         // (given high similarity) the same group.
-        let r = Drain::new().parse_batch(&lines(&[
-            "17 workers started ok",
-            "42 workers started ok",
-        ]));
+        let r =
+            Drain::new().parse_batch(&lines(&["17 workers started ok", "42 workers started ok"]));
         assert_eq!(r.event_count(), 1);
         assert!(r.templates[0].contains("workers started ok"));
     }
 
     #[test]
     fn low_similarity_splits_groups() {
-        let r = Drain::new().parse_batch(&lines(&[
-            "alpha beta gamma delta",
-            "alpha zz yy xx",
-        ]));
+        let r = Drain::new().parse_batch(&lines(&["alpha beta gamma delta", "alpha zz yy xx"]));
         // Similarity 1/4 < 0.4 → two events.
         assert_eq!(r.event_count(), 2);
     }

@@ -34,7 +34,11 @@ pub struct IplomConfig {
 
 impl Default for IplomConfig {
     fn default() -> Self {
-        IplomConfig { cluster_goodness: 0.6, split_cardinality_ratio: 0.5, min_partition: 2 }
+        IplomConfig {
+            cluster_goodness: 0.6,
+            split_cardinality_ratio: 0.5,
+            min_partition: 2,
+        }
     }
 }
 
@@ -242,7 +246,10 @@ impl BatchParser for Iplom {
                 assignments[mi] = event_id;
             }
         }
-        ParseResult { assignments, templates }
+        ParseResult {
+            assignments,
+            templates,
+        }
     }
 }
 

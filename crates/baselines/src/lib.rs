@@ -48,8 +48,14 @@ mod tests {
     fn workload() -> Vec<String> {
         let mut v = Vec::new();
         for i in 0..30 {
-            v.push(format!("Receiving block blk_{i} src /10.0.0.{} dest /10.0.0.9", i % 5));
-            v.push(format!("PacketResponder {} for block blk_{i} terminating", i % 3));
+            v.push(format!(
+                "Receiving block blk_{i} src /10.0.0.{} dest /10.0.0.9",
+                i % 5
+            ));
+            v.push(format!(
+                "PacketResponder {} for block blk_{i} terminating",
+                i % 3
+            ));
             v.push("NameSystem allocateBlock completed".to_string());
         }
         v
@@ -68,7 +74,11 @@ mod tests {
                 r.event_count()
             );
             // Every assignment refers to a valid template.
-            assert!(r.assignments.iter().all(|&a| a < r.event_count()), "{}", parser.name());
+            assert!(
+                r.assignments.iter().all(|&a| a < r.event_count()),
+                "{}",
+                parser.name()
+            );
         }
     }
 

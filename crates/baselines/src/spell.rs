@@ -82,9 +82,7 @@ impl BatchParser for Spell {
                 }
             }
             match best {
-                Some((l, oi))
-                    if (l as f64) >= self.config.tau * (content_len as f64) && l > 0 =>
-                {
+                Some((l, oi)) if (l as f64) >= self.config.tau * (content_len as f64) && l > 0 => {
                     // Refine the template: keep the LCS, wildcard the rest.
                     let obj = &mut objects[oi];
                     let common = lcs_seq(&tokens, &obj.constants);
@@ -176,10 +174,8 @@ mod tests {
     #[test]
     fn tau_threshold_respected() {
         // Overlap of exactly 1 token out of 4 (< tau/2) must not merge.
-        let r = Spell::new().parse_batch(&lines(&[
-            "alpha beta gamma delta",
-            "alpha one two three",
-        ]));
+        let r =
+            Spell::new().parse_batch(&lines(&["alpha beta gamma delta", "alpha one two three"]));
         assert_eq!(r.event_count(), 2);
     }
 

@@ -38,7 +38,11 @@ pub fn seq_similarity(template: &[String], tokens: &[&str]) -> f64 {
     if template.is_empty() {
         return 0.0;
     }
-    let same = template.iter().zip(tokens).filter(|(t, m)| t.as_str() == **m).count();
+    let same = template
+        .iter()
+        .zip(tokens)
+        .filter(|(t, m)| t.as_str() == **m)
+        .count();
     same as f64 / template.len() as f64
 }
 
@@ -160,7 +164,10 @@ mod tests {
 
     #[test]
     fn lcs() {
-        let b: Vec<String> = ["x", "a", "y", "b", "z"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["x", "a", "y", "b", "z"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(lcs_len(&["a", "b"], &b), 2);
         assert_eq!(lcs_seq(&["a", "q", "b"], &b), vec!["a", "b"]);
         assert_eq!(lcs_len(&[], &b), 0);

@@ -8,15 +8,19 @@
 //! trie memory but pay more per-batch overhead and discover more
 //! fragmentary patterns early on; larger batches amortise better.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loghub_synth::{generate_stream, CorpusConfig};
 use sequence_rtg::{LogRecord, Pipeline, RtgConfig, SequenceRtg};
+use testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn stream() -> Vec<LogRecord> {
-    generate_stream(CorpusConfig { services: 60, total: 24_000, seed: 20210906 })
-        .into_iter()
-        .map(|i| LogRecord::new(i.service, i.message))
-        .collect()
+    generate_stream(CorpusConfig {
+        services: 60,
+        total: 24_000,
+        seed: 20210906,
+    })
+    .into_iter()
+    .map(|i| LogRecord::new(i.service, i.message))
+    .collect()
 }
 
 fn bench_batch_size(c: &mut Criterion) {
@@ -25,24 +29,34 @@ fn bench_batch_size(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(records.len() as u64));
     for &batch_size in &[1_000usize, 4_000, 12_000, 24_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(batch_size), &records, |b, records| {
-            b.iter(|| {
-                let config = RtgConfig { batch_size, ..RtgConfig::default() };
-                let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
-                for r in records {
-                    pipeline.push(r.clone(), 0).unwrap();
-                }
-                pipeline.flush(0).unwrap();
-                pipeline.engine_mut().total_known_patterns()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    let config = RtgConfig {
+                        batch_size,
+                        ..RtgConfig::default()
+                    };
+                    let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
+                    for r in records {
+                        pipeline.push(r.clone(), 0).unwrap();
+                    }
+                    pipeline.flush(0).unwrap();
+                    pipeline.engine_mut().total_known_patterns()
+                })
+            },
+        );
     }
     group.finish();
 
     // Consistency check: batching must not lose coverage — every record is
     // either matched or analysed, for any batch size.
     for &batch_size in &[1_000usize, 24_000] {
-        let config = RtgConfig { batch_size, ..RtgConfig::default() };
+        let config = RtgConfig {
+            batch_size,
+            ..RtgConfig::default()
+        };
         let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
         let mut matched = 0u64;
         let mut analyzed = 0u64;
@@ -59,7 +73,11 @@ fn bench_batch_size(c: &mut Criterion) {
             analyzed += rep.analyzed;
             empty += rep.empty_messages;
         }
-        assert_eq!(matched + analyzed + empty, records.len() as u64, "batch={batch_size}");
+        assert_eq!(
+            matched + analyzed + empty,
+            records.len() as u64,
+            "batch={batch_size}"
+        );
     }
 }
 

@@ -8,16 +8,20 @@
 //! into shared patterns, while the partitioned analysis keeps services
 //! separate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use loghub_synth::{generate_stream, CorpusConfig};
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn batch(total: usize) -> Vec<LogRecord> {
-    generate_stream(CorpusConfig { services: 48, total, seed: 20210906 })
-        .into_iter()
-        .map(|i| LogRecord::new(i.service, i.message))
-        .collect()
+    generate_stream(CorpusConfig {
+        services: 48,
+        total,
+        seed: 20210906,
+    })
+    .into_iter()
+    .map(|i| LogRecord::new(i.service, i.message))
+    .collect()
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -56,7 +60,11 @@ fn bench_ablation(c: &mut Criterion) {
         "mixed analysis loses service attribution: {mixed_services} of {}",
         services_in_batch.len()
     );
-    assert_eq!(part_services, services_in_batch.len(), "partitioned analysis keeps every service");
+    assert_eq!(
+        part_services,
+        services_in_batch.len(),
+        "partitioned analysis keeps every service"
+    );
 }
 
 criterion_group!(benches, bench_ablation);

@@ -7,10 +7,10 @@
 //! quality effect: with quality control, mined patterns carry strictly fewer
 //! variables (less redundant metadata) while covering the same messages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use loghub_synth::generate;
 use sequence_core::{Analyzer, AnalyzerOptions, Scanner};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn scanned_corpus() -> Vec<sequence_core::TokenizedMessage> {
     let scanner = Scanner::new();
@@ -43,7 +43,9 @@ fn bench_quality(c: &mut Criterion) {
     };
     assert_eq!(covered(&rtg), covered(&seminal), "coverage identical");
     let vars = |ds: &[sequence_core::analyzer::DiscoveredPattern]| -> usize {
-        ds.iter().map(|d| d.pattern.variable_count() * d.match_count as usize).sum()
+        ds.iter()
+            .map(|d| d.pattern.variable_count() * d.match_count as usize)
+            .sum()
     };
     let (v_rtg, v_seminal) = (vars(&rtg), vars(&seminal));
     assert!(

@@ -1,4 +1,4 @@
-//! Criterion benchmark regenerating Fig. 5: `Analyze` vs `AnalyzeByService`
+//! Benchmark (testkit::bench harness) regenerating Fig. 5: `Analyze` vs `AnalyzeByService`
 //! processing time over growing multi-service data sets (241 virtual
 //! services, empty pattern database — the paper's worst-case setup).
 //!
@@ -6,15 +6,19 @@
 //! table-style sweep (larger sizes, wall-clock) use
 //! `cargo run --release -p evalharness --bin fig5`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loghub_synth::{generate_stream, CorpusConfig};
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+use testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn records(size: usize) -> Vec<LogRecord> {
-    generate_stream(CorpusConfig { services: 241, total: size, seed: 20210906 })
-        .into_iter()
-        .map(|i| LogRecord::new(i.service, i.message))
-        .collect()
+    generate_stream(CorpusConfig {
+        services: 241,
+        total: size,
+        seed: 20210906,
+    })
+    .into_iter()
+    .map(|i| LogRecord::new(i.service, i.message))
+    .collect()
 }
 
 fn bench_fig5(c: &mut Criterion) {
@@ -23,12 +27,16 @@ fn bench_fig5(c: &mut Criterion) {
     for &size in &[2_000usize, 8_000, 24_000] {
         let batch = records(size);
         group.throughput(Throughput::Elements(size as u64));
-        group.bench_with_input(BenchmarkId::new("analyze_seminal", size), &batch, |b, batch| {
-            b.iter(|| {
-                let mut rtg = SequenceRtg::in_memory(RtgConfig::seminal());
-                rtg.analyze_all(batch, 0).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("analyze_seminal", size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut rtg = SequenceRtg::in_memory(RtgConfig::seminal());
+                    rtg.analyze_all(batch, 0).unwrap()
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("analyze_by_service", size),
             &batch,

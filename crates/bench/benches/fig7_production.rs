@@ -3,12 +3,18 @@
 //! noise floor) on every run. The full 60-day series is printed by
 //! `cargo run -p evalharness --bin fig7`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use evalharness::production::{simulate, SimConfig};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn compact() -> SimConfig {
-    SimConfig { days: 10, daily_messages: 2_000, services: 30, review_interval: 2, ..SimConfig::default() }
+    SimConfig {
+        days: 10,
+        daily_messages: 2_000,
+        services: 30,
+        review_interval: 2,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_fig7(c: &mut Criterion) {

@@ -2,17 +2,20 @@
 //! set, the operation that runs on *every* production message (Fig. 6: the
 //! pattern database filters the full stream).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use loghub_synth::generate;
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_parser(c: &mut Criterion) {
     // Learn patterns from one sample, match a fresh sample.
     let train = generate("OpenSSH", 2000, 1);
     let test = generate("OpenSSH", 2000, 2);
-    let records: Vec<LogRecord> =
-        train.lines.iter().map(|l| LogRecord::new("OpenSSH", l.raw.as_str())).collect();
+    let records: Vec<LogRecord> = train
+        .lines
+        .iter()
+        .map(|l| LogRecord::new("OpenSSH", l.raw.as_str()))
+        .collect();
     let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
     rtg.analyze_by_service(&records, 0).unwrap();
     let sets = rtg.store_mut().load_pattern_sets().unwrap().0;

@@ -2,10 +2,10 @@
 //! Sequence-RTG, limitation 2). Covers the hot path of a production batch:
 //! id-indexed upserts, match-count updates, and full set reloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use patterndb::PatternStore;
 use sequence_core::{Analyzer, Scanner};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn discoveries(n: usize) -> Vec<sequence_core::analyzer::DiscoveredPattern> {
     let scanner = Scanner::new();
@@ -36,8 +36,10 @@ fn bench_store(c: &mut Criterion) {
 
     // Pre-populated store for update/read benchmarks.
     let mut store = PatternStore::in_memory();
-    let ids: Vec<String> =
-        ds.iter().map(|d| store.upsert_discovered("svc", d, 1).unwrap().0).collect();
+    let ids: Vec<String> = ds
+        .iter()
+        .map(|d| store.upsert_discovered("svc", d, 1).unwrap().0)
+        .collect();
 
     group.bench_function("record_matches_point_update", |b| {
         let mut i = 0usize;

@@ -6,10 +6,10 @@
 //! representative mix (timestamps, IPs, MACs, key/value fields, URLs,
 //! multi-line messages).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use loghub_synth::{generate, DATASET_NAMES};
 use sequence_core::{Scanner, ScannerOptions};
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn corpus() -> Vec<String> {
     let mut v = Vec::new();

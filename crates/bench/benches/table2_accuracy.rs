@@ -3,11 +3,11 @@
 //! claims hold on every execution (accuracy itself is printed by
 //! `cargo run -p evalharness --bin table2`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use evalharness::runner::{rtg_accuracy, Variant};
 use loghub_synth::generate;
 use sequence_rtg::RtgConfig;
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
@@ -15,7 +15,13 @@ fn bench_table2(c: &mut Criterion) {
     for name in ["OpenSSH", "HDFS", "Proxifier"] {
         let d = generate(name, 2000, 20210906);
         group.bench_function(format!("rtg_preprocessed_{name}"), |b| {
-            b.iter(|| black_box(rtg_accuracy(&d, Variant::Preprocessed, RtgConfig::default())))
+            b.iter(|| {
+                black_box(rtg_accuracy(
+                    &d,
+                    Variant::Preprocessed,
+                    RtgConfig::default(),
+                ))
+            })
         });
         group.bench_function(format!("rtg_raw_{name}"), |b| {
             b.iter(|| black_box(rtg_accuracy(&d, Variant::Raw, RtgConfig::default())))

@@ -3,10 +3,10 @@
 //! the headline ranking (Drain best on average) on a three-dataset sample.
 
 use baselines::all_parsers;
-use criterion::{criterion_group, criterion_main, Criterion};
 use evalharness::runner::{baseline_accuracy, variant_lines, Variant};
 use loghub_synth::generate;
 use std::hint::black_box;
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_table3(c: &mut Criterion) {
     let d = generate("OpenSSH", 2000, 20210906);

@@ -20,7 +20,11 @@ where
     P: std::hash::Hash + Eq + Clone,
     T: std::hash::Hash + Eq + Clone,
 {
-    assert_eq!(predicted.len(), truth.len(), "assignment/label length mismatch");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "assignment/label length mismatch"
+    );
     if predicted.is_empty() {
         return 0.0;
     }
@@ -69,7 +73,11 @@ where
     P: std::hash::Hash + Eq + Clone,
     T: std::hash::Hash + Eq + Clone,
 {
-    assert_eq!(predicted.len(), truth.len(), "assignment/label length mismatch");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "assignment/label length mismatch"
+    );
     if predicted.is_empty() {
         return 0.0;
     }
@@ -85,7 +93,10 @@ where
     for (i, (p, t)) in predicted.iter().zip(truth).enumerate() {
         first_index.entry((p, t)).or_insert(i);
     }
-    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(first_index[&a.0].cmp(&first_index[&b.0])));
+    pairs.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(first_index[&a.0].cmp(&first_index[&b.0]))
+    });
     let mut used_p: std::collections::HashSet<&P> = std::collections::HashSet::new();
     let mut used_t: std::collections::HashSet<&T> = std::collections::HashSet::new();
     let mut correct = 0usize;

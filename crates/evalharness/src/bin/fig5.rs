@@ -8,10 +8,15 @@ use evalharness::perf::{render_fig5, run_fig5, DEFAULT_SIZES};
 use evalharness::DEFAULT_SEED;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let sizes: Vec<usize> =
-        if args.is_empty() { DEFAULT_SIZES.to_vec() } else { args };
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let sizes: Vec<usize> = if args.is_empty() {
+        DEFAULT_SIZES.to_vec()
+    } else {
+        args
+    };
     eprintln!("running Fig. 5 sweep over sizes {sizes:?} (241 services) ...");
     let rows = run_fig5(&sizes, 241, DEFAULT_SEED);
     print!("{}", render_fig5(&rows));

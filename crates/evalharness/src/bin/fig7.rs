@@ -11,8 +11,10 @@ fn main() {
         match a.as_str() {
             "--days" => cfg.days = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.days),
             "--daily" => {
-                cfg.daily_messages =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.daily_messages)
+                cfg.daily_messages = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.daily_messages)
             }
             _ => {}
         }

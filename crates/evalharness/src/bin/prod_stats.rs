@@ -27,7 +27,9 @@ fn main() {
             .map(|i| LogRecord::new(i.service.as_str(), i.message.as_str()))
             .collect();
         let t = Instant::now();
-        let report = rtg.analyze_by_service(&records, b as u64).expect("analysis");
+        let report = rtg
+            .analyze_by_service(&records, b as u64)
+            .expect("analysis");
         let secs = t.elapsed().as_secs_f64();
         times.push(secs);
         println!(
@@ -48,7 +50,11 @@ fn main() {
     println!("batch fill time vs unmatched fraction (calibrated to 15 min at 78%):");
     for unmatched in [0.78, 0.60, 0.45, 0.30, 0.20, 0.15] {
         let minutes = 15.0 * 0.78 / unmatched;
-        println!("  unmatched {:>4.0}% -> fill time {:>5.1} min", unmatched * 100.0, minutes);
+        println!(
+            "  unmatched {:>4.0}% -> fill time {:>5.1} min",
+            unmatched * 100.0,
+            minutes
+        );
     }
     println!("(paper: initial wait ~15 min, growing to ~25-30 min as patterns are promoted)");
 }

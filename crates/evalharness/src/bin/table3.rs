@@ -17,7 +17,10 @@ fn main() {
     let mut sums = [0.0f64; 4];
     for (i, name) in DATASET_NAMES.iter().enumerate() {
         let d = generate(name, DATASET_LINES, DEFAULT_SEED);
-        let accs: Vec<f64> = parsers.iter().map(|p| baseline_accuracy(p.as_ref(), &d)).collect();
+        let accs: Vec<f64> = parsers
+            .iter()
+            .map(|p| baseline_accuracy(p.as_ref(), &d))
+            .collect();
         for (s, a) in sums.iter_mut().zip(&accs) {
             *s += a;
         }

@@ -35,7 +35,11 @@ pub struct Fig5Row {
 pub fn run_fig5(sizes: &[usize], services: usize, seed: u64) -> Vec<Fig5Row> {
     let mut rows = Vec::with_capacity(sizes.len());
     for &size in sizes {
-        let stream = generate_stream(CorpusConfig { services, total: size, seed });
+        let stream = generate_stream(CorpusConfig {
+            services,
+            total: size,
+            seed,
+        });
         let records: Vec<LogRecord> = stream
             .iter()
             .map(|item| LogRecord::new(item.service.as_str(), item.message.as_str()))
@@ -43,12 +47,16 @@ pub fn run_fig5(sizes: &[usize], services: usize, seed: u64) -> Vec<Fig5Row> {
 
         let mut seminal = SequenceRtg::in_memory(RtgConfig::seminal());
         let t0 = Instant::now();
-        seminal.analyze_all(&records, 0).expect("in-memory analysis");
+        seminal
+            .analyze_all(&records, 0)
+            .expect("in-memory analysis");
         let analyze_secs = t0.elapsed().as_secs_f64();
 
         let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
         let t1 = Instant::now();
-        let report = rtg.analyze_by_service(&records, 0).expect("in-memory analysis");
+        let report = rtg
+            .analyze_by_service(&records, 0)
+            .expect("in-memory analysis");
         let analyze_by_service_secs = t1.elapsed().as_secs_f64();
 
         // Memory accounting: size of the pre-merge analysis tries.
@@ -59,7 +67,10 @@ pub fn run_fig5(sizes: &[usize], services: usize, seed: u64) -> Vec<Fig5Row> {
             std::collections::HashMap::new();
         for r in &records {
             let t = scanner.scan(&r.message);
-            by_service.entry(r.service.as_str()).or_default().push(t.clone());
+            by_service
+                .entry(r.service.as_str())
+                .or_default()
+                .push(t.clone());
             scanned_all.push(t);
         }
         let mixed_trie_nodes = analyzer.trie_node_count(&scanned_all);

@@ -15,11 +15,10 @@
 //! which the save threshold rightly never promotes).
 
 use loghub_synth::{generate_stream, CorpusConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sequence_core::{PatternSet, Scanner};
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::collections::{HashMap, HashSet};
+use testkit::rng::Rng;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +91,7 @@ pub struct DayStats {
 
 /// Run the 60-day simulation.
 pub fn simulate(config: SimConfig) -> Vec<DayStats> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let scanner = Scanner::new();
     let mut promoted: HashMap<String, PatternSet> = HashMap::new();
     let mut promoted_ids: HashSet<String> = HashSet::new();
@@ -135,16 +134,24 @@ pub fn simulate(config: SimConfig) -> Vec<DayStats> {
             if hit {
                 matched += 1;
             } else {
-                unmatched_records.push(LogRecord::new(item.service.as_str(), item.message.as_str()));
+                unmatched_records
+                    .push(LogRecord::new(item.service.as_str(), item.message.as_str()));
             }
         }
         // The unmatched stream feeds Sequence-RTG, batch by batch.
         for chunk in unmatched_records.chunks(config.batch_size) {
-            rtg.analyze_by_service(chunk, day as u64).expect("in-memory analysis");
+            rtg.analyze_by_service(chunk, day as u64)
+                .expect("in-memory analysis");
         }
         // Review + promotion session.
         if day % config.review_interval == 0 {
-            review_and_promote(&config, &mut rng, &mut rtg, &mut promoted, &mut promoted_ids);
+            review_and_promote(
+                &config,
+                &mut rng,
+                &mut rtg,
+                &mut promoted,
+                &mut promoted_ids,
+            );
         }
         let received = stream.len();
         let unmatched = received - matched;
@@ -165,16 +172,23 @@ pub fn simulate(config: SimConfig) -> Vec<DayStats> {
     out
 }
 
-fn noise_message(rng: &mut StdRng, day: usize, i: usize) -> String {
-    let words = ["ephemeral", "oddity", "glitch", "spurious", "transient", "anomalous"];
+fn noise_message(rng: &mut Rng, day: usize, i: usize) -> String {
+    let words = [
+        "ephemeral",
+        "oddity",
+        "glitch",
+        "spurious",
+        "transient",
+        "anomalous",
+    ];
     format!(
         "{} condition 0x{:08x} at unit {} ref {}-{}-{}",
         words[rng.gen_range(0..words.len())],
-        rng.gen::<u32>(),
+        rng.u32(),
         rng.gen_range(0..512),
         day,
         i,
-        rng.gen::<u16>(),
+        rng.u16(),
     )
 }
 
@@ -194,8 +208,13 @@ fn bootstrap_promoted(
         .map(|item| LogRecord::new(item.service.as_str(), item.message.as_str()))
         .collect();
     let mut miner = SequenceRtg::in_memory(RtgConfig::default());
-    miner.analyze_by_service(&records, 0).expect("bootstrap analysis");
-    let mut patterns = miner.store_mut().patterns(None).expect("bootstrap patterns");
+    miner
+        .analyze_by_service(&records, 0)
+        .expect("bootstrap analysis");
+    let mut patterns = miner
+        .store_mut()
+        .patterns(None)
+        .expect("bootstrap patterns");
     patterns.sort_by(|a, b| b.count.cmp(&a.count));
     // Account for the noise share that will exist in real days: target
     // coverage applies to the non-noise volume.
@@ -207,7 +226,10 @@ fn bootstrap_promoted(
         }
         if let Ok(parsed) = p.pattern() {
             covered += p.count;
-            promoted.entry(p.service.clone()).or_default().insert(p.id.clone(), parsed);
+            promoted
+                .entry(p.service.clone())
+                .or_default()
+                .insert(p.id.clone(), parsed);
             promoted_ids.insert(p.id);
         }
     }
@@ -219,7 +241,7 @@ fn bootstrap_promoted(
 /// strong candidates with the configured acceptance probability.
 fn review_and_promote(
     config: &SimConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     rtg: &mut SequenceRtg,
     promoted: &mut HashMap<String, PatternSet>,
     promoted_ids: &mut HashSet<String>,
@@ -247,7 +269,11 @@ fn review_and_promote(
                 && item.pattern.complexity <= config.promote_max_complexity
         })
         .map(|item| {
-            (item.pattern.id.clone(), item.pattern.service.clone(), item.pattern.pattern().ok())
+            (
+                item.pattern.id.clone(),
+                item.pattern.service.clone(),
+                item.pattern.pattern().ok(),
+            )
         })
         .collect();
     for (id, service, parsed) in decisions {
@@ -256,7 +282,10 @@ fn review_and_promote(
         }
         if let Some(parsed) = parsed {
             rtg.store_mut().promote(&id).expect("promote");
-            promoted.entry(service).or_default().insert(id.clone(), parsed);
+            promoted
+                .entry(service)
+                .or_default()
+                .insert(id.clone(), parsed);
             promoted_ids.insert(id);
         }
     }
@@ -306,7 +335,10 @@ mod tests {
         let first = stats[0].unmatched_pct;
         let last = stats.last().unwrap().unmatched_pct;
         assert!(first > 55.0, "day-1 unmatched should be high: {first}");
-        assert!(last < first - 20.0, "should decay substantially: {first} -> {last}");
+        assert!(
+            last < first - 20.0,
+            "should decay substantially: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub fn truth_labels(dataset: &Dataset) -> Vec<&str> {
 /// the parser; the matched pattern id is the event assignment.
 pub fn rtg_assignments(dataset: &Dataset, variant: Variant, config: RtgConfig) -> Vec<String> {
     let lines = variant_lines(dataset, variant);
-    let records: Vec<LogRecord> =
-        lines.iter().map(|m| LogRecord::new(dataset.name, m.as_str())).collect();
+    let records: Vec<LogRecord> = lines
+        .iter()
+        .map(|m| LogRecord::new(dataset.name, m.as_str()))
+        .collect();
     let mut rtg = SequenceRtg::in_memory(config);
-    rtg.analyze_by_service(&records, 0).expect("in-memory analysis cannot fail");
+    rtg.analyze_by_service(&records, 0)
+        .expect("in-memory analysis cannot fail");
     // Parse step: match each message against the final pattern set.
     let scanner = sequence_core::Scanner::with_options(config.scanner);
     let sets = rtg.store_mut().load_pattern_sets().expect("load sets").0;

@@ -38,7 +38,11 @@ pub enum ErrorKind {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {:?}", self.offset, self.kind)
+        write!(
+            f,
+            "json parse error at byte {}: {:?}",
+            self.offset, self.kind
+        )
     }
 }
 
@@ -51,7 +55,10 @@ const MAX_DEPTH: usize = 128;
 /// Parse a complete JSON document. Trailing whitespace is allowed; any other
 /// trailing data is an error.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { b: input.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: input.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -68,7 +75,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, kind: ErrorKind) -> ParseError {
-        ParseError { offset: self.i, kind }
+        ParseError {
+            offset: self.i,
+            kind,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -212,7 +222,9 @@ impl<'a> Parser<'a> {
     }
 
     fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
-        let c = self.peek().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
         self.i += 1;
         match c {
             b'"' => out.push('"'),
@@ -308,7 +320,9 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
-        text.parse::<f64>().map(Value::Number).map_err(|_| self.err(ErrorKind::BadNumber))
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(ErrorKind::BadNumber))
     }
 }
 
@@ -331,7 +345,10 @@ mod tests {
     fn stream_item_shape() {
         let v = parse(r#"{"service": "sshd", "message": "Accepted password for root"}"#).unwrap();
         assert_eq!(v.get("service").unwrap().as_str(), Some("sshd"));
-        assert_eq!(v.get("message").unwrap().as_str(), Some("Accepted password for root"));
+        assert_eq!(
+            v.get("message").unwrap().as_str(),
+            Some("Accepted password for root")
+        );
     }
 
     #[test]
@@ -344,7 +361,10 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(parse(r#""a\nb\t\"c\"\\""#).unwrap().as_str(), Some("a\nb\t\"c\"\\"));
+        assert_eq!(
+            parse(r#""a\nb\t\"c\"\\""#).unwrap().as_str(),
+            Some("a\nb\t\"c\"\\")
+        );
         assert_eq!(parse(r#""étoile""#).unwrap().as_str(), Some("étoile"));
         assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
         assert_eq!(parse(r#""\/""#).unwrap().as_str(), Some("/"));
@@ -352,10 +372,22 @@ mod tests {
 
     #[test]
     fn bad_escapes_rejected() {
-        assert!(matches!(parse(r#""\q""#).unwrap_err().kind, ErrorKind::BadEscape));
-        assert!(matches!(parse(r#""\u12""#).unwrap_err().kind, ErrorKind::UnexpectedEof));
-        assert!(matches!(parse(r#""\ud800x""#).unwrap_err().kind, ErrorKind::BadUnicodeEscape));
-        assert!(matches!(parse(r#""\udc00""#).unwrap_err().kind, ErrorKind::BadUnicodeEscape));
+        assert!(matches!(
+            parse(r#""\q""#).unwrap_err().kind,
+            ErrorKind::BadEscape
+        ));
+        assert!(matches!(
+            parse(r#""\u12""#).unwrap_err().kind,
+            ErrorKind::UnexpectedEof
+        ));
+        assert!(matches!(
+            parse(r#""\ud800x""#).unwrap_err().kind,
+            ErrorKind::BadUnicodeEscape
+        ));
+        assert!(matches!(
+            parse(r#""\udc00""#).unwrap_err().kind,
+            ErrorKind::BadUnicodeEscape
+        ));
     }
 
     #[test]
@@ -368,7 +400,10 @@ mod tests {
 
     #[test]
     fn trailing_data_rejected() {
-        assert!(matches!(parse("1 2").unwrap_err().kind, ErrorKind::TrailingData));
+        assert!(matches!(
+            parse("1 2").unwrap_err().kind,
+            ErrorKind::TrailingData
+        ));
         assert!(parse("  1  ").is_ok());
     }
 

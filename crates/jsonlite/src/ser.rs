@@ -137,13 +137,19 @@ mod tests {
 
     #[test]
     fn escaping() {
-        assert_eq!(to_string(&Value::String("a\"b\\c\nd".into())), r#""a\"b\\c\nd""#);
+        assert_eq!(
+            to_string(&Value::String("a\"b\\c\nd".into())),
+            r#""a\"b\\c\nd""#
+        );
         assert_eq!(to_string(&Value::String("\u{01}".into())), "\"\\u0001\"");
     }
 
     #[test]
     fn containers() {
-        let v = object([("b", Value::from(1i64)), ("a", Value::Array(vec![Value::Null]))]);
+        let v = object([
+            ("b", Value::from(1i64)),
+            ("a", Value::Array(vec![Value::Null])),
+        ]);
         assert_eq!(to_string(&v), r#"{"a":[null],"b":1}"#);
     }
 

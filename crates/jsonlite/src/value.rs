@@ -124,7 +124,12 @@ impl fmt::Display for Value {
 
 /// Build a JSON object from `(key, value)` pairs.
 pub fn object<K: Into<String>, V: Into<Value>>(pairs: impl IntoIterator<Item = (K, V)>) -> Value {
-    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -133,7 +138,11 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = object([("a", Value::from(1i64)), ("b", Value::from("x")), ("c", Value::Bool(true))]);
+        let v = object([
+            ("a", Value::from(1i64)),
+            ("b", Value::from("x")),
+            ("c", Value::Bool(true)),
+        ]);
         assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
         assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
         assert_eq!(v.get("c").unwrap().as_bool(), Some(true));

@@ -8,8 +8,7 @@
 //! way a centralised syslog-ng feed does.
 
 use crate::datasets::{generate, DATASET_NAMES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::rng::Rng;
 
 /// One stream item (mirrors `sequence_rtg::LogRecord` without the
 /// dependency).
@@ -36,14 +35,18 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { services: 241, total: 100_000, seed: 1 }
+        CorpusConfig {
+            services: 241,
+            total: 100_000,
+            seed: 1,
+        }
     }
 }
 
 /// Generate the composite stream. Items are interleaved across services in a
 /// deterministic shuffled order, like a centralised collector output.
 pub fn generate_stream(config: CorpusConfig) -> Vec<StreamItem> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     // Per-service volume: Zipf-ish weights so a few services dominate, as in
     // real data centres.
     let mut weights = Vec::with_capacity(config.services);
@@ -51,8 +54,10 @@ pub fn generate_stream(config: CorpusConfig) -> Vec<StreamItem> {
         weights.push(1.0 / (1.0 + s as f64).powf(0.8));
     }
     let wsum: f64 = weights.iter().sum();
-    let mut counts: Vec<usize> =
-        weights.iter().map(|w| ((w / wsum) * config.total as f64).floor() as usize).collect();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * config.total as f64).floor() as usize)
+        .collect();
     let assigned: usize = counts.iter().sum();
     for i in 0..config.total - assigned {
         counts[i % config.services] += 1;
@@ -67,14 +72,15 @@ pub fn generate_stream(config: CorpusConfig) -> Vec<StreamItem> {
         let service = format!("svc-{si:03}-{base}");
         let d = generate(base, count, config.seed.wrapping_add(si as u64 * 7919));
         for line in d.lines {
-            out.push(StreamItem { service: service.clone(), message: line.raw, event: line.event });
+            out.push(StreamItem {
+                service: service.clone(),
+                message: line.raw,
+                event: line.event,
+            });
         }
     }
     // Deterministic interleave (Fisher–Yates with the seeded RNG).
-    for i in (1..out.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        out.swap(i, j);
-    }
+    rng.shuffle(&mut out);
     out
 }
 
@@ -98,29 +104,55 @@ mod tests {
 
     #[test]
     fn stream_has_requested_shape() {
-        let items = generate_stream(CorpusConfig { services: 50, total: 5_000, seed: 3 });
+        let items = generate_stream(CorpusConfig {
+            services: 50,
+            total: 5_000,
+            seed: 3,
+        });
         assert_eq!(items.len(), 5_000);
         let services: HashSet<&str> = items.iter().map(|i| i.service.as_str()).collect();
-        assert!(services.len() >= 45, "most services appear: {}", services.len());
+        assert!(
+            services.len() >= 45,
+            "most services appear: {}",
+            services.len()
+        );
     }
 
     #[test]
     fn zipf_head_dominates() {
-        let items = generate_stream(CorpusConfig { services: 50, total: 10_000, seed: 3 });
-        let head = items.iter().filter(|i| i.service.starts_with("svc-000-")).count();
-        let tail = items.iter().filter(|i| i.service.starts_with("svc-049-")).count();
+        let items = generate_stream(CorpusConfig {
+            services: 50,
+            total: 10_000,
+            seed: 3,
+        });
+        let head = items
+            .iter()
+            .filter(|i| i.service.starts_with("svc-000-"))
+            .count();
+        let tail = items
+            .iter()
+            .filter(|i| i.service.starts_with("svc-049-"))
+            .count();
         assert!(head > tail * 3, "zipf skew: head={head} tail={tail}");
     }
 
     #[test]
     fn deterministic() {
-        let cfg = CorpusConfig { services: 20, total: 1_000, seed: 9 };
+        let cfg = CorpusConfig {
+            services: 20,
+            total: 1_000,
+            seed: 9,
+        };
         assert_eq!(generate_stream(cfg), generate_stream(cfg));
     }
 
     #[test]
     fn json_lines_round_trip() {
-        let items = generate_stream(CorpusConfig { services: 5, total: 50, seed: 2 });
+        let items = generate_stream(CorpusConfig {
+            services: 5,
+            total: 50,
+            seed: 2,
+        });
         let text = to_json_lines(&items);
         let mut n = 0;
         for line in text.lines() {

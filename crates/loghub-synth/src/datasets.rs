@@ -22,8 +22,7 @@
 //! * several services with filesystem paths (the paper's path limitation).
 
 use crate::slots::{instantiate, parse_template, TemplatePart};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::rng::Rng;
 
 /// One labelled synthetic log line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,22 +80,23 @@ enum Header {
     Proxifier,
 }
 
-const MONTHS: &[&str] =
-    &["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const MONTHS: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
 const DAYS: &[&str] = &["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
 
 impl Header {
-    fn generate(self, rng: &mut StdRng) -> String {
+    fn generate(self, rng: &mut Rng) -> String {
         let h = rng.gen_range(0..24u32);
         let mi = rng.gen_range(0..60u32);
         let s = rng.gen_range(0..60u32);
         let ms = rng.gen_range(0..1000u32);
-        let mon = MONTHS[rng.gen_range(0..12)];
+        let mon = MONTHS[rng.gen_range(0..12usize)];
         let dom = rng.gen_range(1..29u32);
         match self {
             Header::Syslog(prog) => {
                 let host = ["combo", "LabSZ", "authorMacBook-Pro", "tbird-admin1"]
-                    [rng.gen_range(0..4)];
+                    [rng.gen_range(0..4usize)];
                 format!(
                     "{mon} {dom:2} {h:02}:{mi:02}:{s:02} {host} {prog}[{}]: ",
                     rng.gen_range(100..32000)
@@ -147,11 +147,11 @@ impl Header {
                 // The documented limitation: time parts WITHOUT leading
                 // zeros (`20171224-0:7:20:444`).
                 let comp = ["Step_LSC", "Step_SPUtils", "Step_StandReportReceiver"]
-                    [rng.gen_range(0..3)];
+                    [rng.gen_range(0..3usize)];
                 format!("201712{dom:02}-{h}:{mi}:{s}:{ms}|{comp}|{}|", rng.gen_range(30_000_000..40_000_000))
             }
             Header::Apache => {
-                let day = DAYS[rng.gen_range(0..7)];
+                let day = DAYS[rng.gen_range(0..7usize)];
                 format!("[{day} {mon} {dom:02} {h:02}:{mi:02}:{s:02} 2005] [notice] ")
             }
             Header::Proxifier => {
@@ -639,7 +639,7 @@ pub fn generate(name: &str, n: usize, seed: u64) -> Dataset {
         .collect();
     let weights: Vec<u32> = s.events.iter().map(|e| e.weight).collect();
     let total: u64 = weights.iter().map(|&w| w as u64).sum();
-    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(name));
+    let mut rng = Rng::seed_from_u64(seed ^ hash_name(name));
     let mut lines = Vec::with_capacity(n);
     for _ in 0..n {
         // Weighted event choice.
@@ -662,11 +662,17 @@ pub fn generate(name: &str, n: usize, seed: u64) -> Dataset {
             event: event.clone(),
         });
     }
-    Dataset { name: s.name, lines, event_count: s.events.len() }
+    Dataset {
+        name: s.name,
+        lines,
+        event_count: s.events.len(),
+    }
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]
@@ -716,7 +722,11 @@ mod tests {
             let mut seen = std::collections::HashSet::new();
             for e in &svc.events {
                 assert!(e.weight > 0, "{name}: zero weight");
-                assert!(seen.insert(e.template), "{name}: duplicate template {:?}", e.template);
+                assert!(
+                    seen.insert(e.template),
+                    "{name}: duplicate template {:?}",
+                    e.template
+                );
             }
         }
     }
@@ -732,7 +742,10 @@ mod tests {
                 let idx: usize = l.event[1..].parse().unwrap();
                 assert!(idx >= 1 && idx <= d.event_count, "{name}: {}", l.event);
                 assert!(!l.raw.is_empty() && !l.content.is_empty());
-                assert!(l.raw.ends_with(&l.content), "{name}: header+content composition");
+                assert!(
+                    l.raw.ends_with(&l.content),
+                    "{name}: header+content composition"
+                );
             }
         }
     }
@@ -749,8 +762,15 @@ mod tests {
     #[test]
     fn preprocessed_masks_common_fields() {
         let d = generate("OpenSSH", 300, 7);
-        let masked = d.lines.iter().filter(|l| l.preprocessed.contains("<*>")).count();
-        assert!(masked > 200, "most OpenSSH lines carry masked fields: {masked}");
+        let masked = d
+            .lines
+            .iter()
+            .filter(|l| l.preprocessed.contains("<*>"))
+            .count();
+        assert!(
+            masked > 200,
+            "most OpenSSH lines carry masked fields: {masked}"
+        );
         // User names survive pre-processing (not masked).
         assert!(d
             .lines
@@ -773,13 +793,20 @@ mod tests {
                 parts.iter().take(3).any(|p| p.len() == 1)
             })
             .count();
-        assert!(single_digit > 50, "single-digit time parts present: {single_digit}");
+        assert!(
+            single_digit > 50,
+            "single-digit time parts present: {single_digit}"
+        );
     }
 
     #[test]
     fn proxifier_has_intstar_flips() {
         let d = generate("Proxifier", 500, 5);
-        let with_star = d.lines.iter().filter(|l| l.content.contains("* bytes")).count();
+        let with_star = d
+            .lines
+            .iter()
+            .filter(|l| l.content.contains("* bytes"))
+            .count();
         let without = d
             .lines
             .iter()
@@ -796,7 +823,10 @@ mod tests {
         let d = generate("Apache", 2000, 11);
         let e1 = d.lines.iter().filter(|l| l.event == "E1").count();
         let e6 = d.lines.iter().filter(|l| l.event == "E6").count();
-        assert!(e1 > e6 * 3, "E1 (weight 500) far more common than E6 (weight 20): {e1} vs {e6}");
+        assert!(
+            e1 > e6 * 3,
+            "E1 (weight 500) far more common than E6 (weight 20): {e1} vs {e6}"
+        );
     }
 
     #[test]
@@ -804,6 +834,10 @@ mod tests {
         let d = generate("Linux", 2000, 9);
         let distinct: std::collections::HashSet<&str> =
             d.lines.iter().map(|l| l.event.as_str()).collect();
-        assert!(distinct.len() >= 20, "Linux long tail: {} events", distinct.len());
+        assert!(
+            distinct.len() >= 20,
+            "Linux long tail: {} events",
+            distinct.len()
+        );
     }
 }

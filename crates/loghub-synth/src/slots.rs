@@ -12,8 +12,7 @@
 //! Word-like fields (user names, host names, enumerated states) are not
 //! masked, exactly like the real pre-processed data.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use testkit::rng::Rng;
 
 /// One parsed element of a template.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +91,7 @@ impl SlotKind {
     }
 
     /// Generate one value.
-    pub fn generate(&self, rng: &mut StdRng) -> String {
+    pub fn generate(&self, rng: &mut Rng) -> String {
         match self {
             SlotKind::Int => rng.gen_range(0..100_000).to_string(),
             SlotKind::SmallInt => rng.gen_range(0..16).to_string(),
@@ -135,7 +134,10 @@ impl SlotKind {
             }
             SlotKind::Blk => {
                 let sign = if rng.gen_bool(0.3) { "-" } else { "" };
-                format!("blk_{sign}{}", rng.gen_range(1_000_000_000u64..9_999_999_999_999u64))
+                format!(
+                    "blk_{sign}{}",
+                    rng.gen_range(1_000_000_000u64..9_999_999_999_999u64)
+                )
             }
             SlotKind::Duration => format!("{}ms", rng.gen_range(1..90_000)),
             SlotKind::Uid => rng.gen_range(0..60_000).to_string(),
@@ -218,7 +220,7 @@ impl SlotKind {
     }
 }
 
-fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, pool: &'a [&'a str]) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
 }
 
@@ -271,7 +273,7 @@ pub fn parse_template(template: &str) -> Vec<TemplatePart> {
 }
 
 /// Instantiate a template: `(raw content, pre-processed content)`.
-pub fn instantiate(parts: &[TemplatePart], rng: &mut StdRng) -> (String, String) {
+pub fn instantiate(parts: &[TemplatePart], rng: &mut Rng) -> (String, String) {
     let mut raw = String::new();
     let mut pre = String::new();
     for p in parts {
@@ -305,10 +307,9 @@ pub fn instantiate(parts: &[TemplatePart], rng: &mut StdRng) -> (String, String)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(7)
     }
 
     #[test]
@@ -373,14 +374,17 @@ mod tests {
                 plain += 1;
             }
         }
-        assert!(star > 20 && plain > 20, "both variants occur: {star}/{plain}");
+        assert!(
+            star > 20 && plain > 20,
+            "both variants occur: {star}/{plain}"
+        );
     }
 
     #[test]
     fn determinism_with_same_seed() {
         let parts = parse_template("x <int> y <ip> z <hex>");
-        let a = instantiate(&parts, &mut StdRng::seed_from_u64(99));
-        let b = instantiate(&parts, &mut StdRng::seed_from_u64(99));
+        let a = instantiate(&parts, &mut Rng::seed_from_u64(99));
+        let b = instantiate(&parts, &mut Rng::seed_from_u64(99));
         assert_eq!(a, b);
     }
 

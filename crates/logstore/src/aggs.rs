@@ -47,7 +47,11 @@ pub fn date_histogram(index: &InvertedIndex, query: &Query, interval: u64) -> Ve
     let mut b = min;
     while b <= max {
         let (count, matched) = counts.get(&b).copied().unwrap_or((0, 0));
-        out.push(TimeBucket { start: b, count, matched });
+        out.push(TimeBucket {
+            start: b,
+            count,
+            matched,
+        });
         b += interval;
     }
     out
@@ -63,8 +67,10 @@ pub struct TermCount {
 }
 
 fn top_of(mut counts: HashMap<String, u64>, n: usize) -> Vec<TermCount> {
-    let mut v: Vec<TermCount> =
-        counts.drain().map(|(term, count)| TermCount { term, count }).collect();
+    let mut v: Vec<TermCount> = counts
+        .drain()
+        .map(|(term, count)| TermCount { term, count })
+        .collect();
     v.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.term.cmp(&b.term)));
     v.truncate(n);
     v
@@ -126,7 +132,11 @@ pub fn match_split(index: &InvertedIndex, query: &Query) -> (u64, u64) {
 
 /// Pull the raw entries of one pattern (drill-down from a dashboard tile).
 pub fn drill_down<'a>(index: &'a InvertedIndex, pattern_id: &str) -> Vec<&'a LogEntry> {
-    index.pattern_postings(pattern_id).iter().filter_map(|&id| index.get(id)).collect()
+    index
+        .pattern_postings(pattern_id)
+        .iter()
+        .filter_map(|&id| index.get(id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -138,13 +148,23 @@ mod tests {
         // Two services, timestamps spanning 300 seconds, some matched.
         for i in 0..30u64 {
             let svc = if i % 3 == 0 { "nginx" } else { "sshd" };
-            let pid = if i % 2 == 0 { Some("pat-even".to_string()) } else { None };
+            let pid = if i % 2 == 0 {
+                Some("pat-even".to_string())
+            } else {
+                None
+            };
             let fields = if pid.is_some() {
                 vec![("srcip".to_string(), format!("10.0.0.{}", i % 4))]
             } else {
                 vec![]
             };
-            idx.ingest(svc, 1000 + i * 10, &format!("event number {i}"), pid, fields);
+            idx.ingest(
+                svc,
+                1000 + i * 10,
+                &format!("event number {i}"),
+                pid,
+                fields,
+            );
         }
         idx
     }
@@ -154,7 +174,7 @@ mod tests {
         let idx = index();
         let buckets = date_histogram(&idx, &Query::default(), 60);
         assert_eq!(buckets[0].start, 960); // 1000 aligned down to 60s
-        // Buckets are contiguous.
+                                           // Buckets are contiguous.
         for w in buckets.windows(2) {
             assert_eq!(w[1].start - w[0].start, 60);
         }
@@ -184,9 +204,21 @@ mod tests {
         let services = top_services(&idx, &Query::default(), 10);
         assert_eq!(services[0].term, "sshd");
         assert_eq!(services[0].count, 20);
-        assert_eq!(services[1], TermCount { term: "nginx".into(), count: 10 });
+        assert_eq!(
+            services[1],
+            TermCount {
+                term: "nginx".into(),
+                count: 10
+            }
+        );
         let patterns = top_patterns(&idx, &Query::default(), 10);
-        assert_eq!(patterns, vec![TermCount { term: "pat-even".into(), count: 15 }]);
+        assert_eq!(
+            patterns,
+            vec![TermCount {
+                term: "pat-even".into(),
+                count: 15
+            }]
+        );
     }
 
     #[test]
@@ -211,6 +243,8 @@ mod tests {
         let idx = index();
         let docs = drill_down(&idx, "pat-even");
         assert_eq!(docs.len(), 15);
-        assert!(docs.iter().all(|d| d.pattern_id.as_deref() == Some("pat-even")));
+        assert!(docs
+            .iter()
+            .all(|d| d.pattern_id.as_deref() == Some("pat-even")));
     }
 }

@@ -92,7 +92,10 @@ impl InvertedIndex {
                 posting.push(id);
             }
         }
-        self.by_service.entry(service.to_string()).or_default().push(id);
+        self.by_service
+            .entry(service.to_string())
+            .or_default()
+            .push(id);
         if let Some(pid) = &pattern_id {
             self.by_pattern.entry(pid.clone()).or_default().push(id);
         }
@@ -122,17 +125,26 @@ impl InvertedIndex {
 
     /// Postings for one message term (empty slice when absent).
     pub fn term_postings(&self, term: &str) -> &[u64] {
-        self.postings.get(&term.to_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+        self.postings
+            .get(&term.to_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Doc ids for a service.
     pub fn service_postings(&self, service: &str) -> &[u64] {
-        self.by_service.get(service).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_service
+            .get(service)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Doc ids for a pattern id.
     pub fn pattern_postings(&self, pattern_id: &str) -> &[u64] {
-        self.by_pattern.get(pattern_id).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_pattern
+            .get(pattern_id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Doc ids for an extracted field value.
@@ -195,7 +207,14 @@ mod tests {
         assert_eq!(
             index_terms("Accepted from 10.0.0.7 port 22, file /var/log/x.log (pid=99)"),
             vec![
-                "accepted", "from", "10.0.0.7", "port", "22", "file", "/var/log/x.log", "pid",
+                "accepted",
+                "from",
+                "10.0.0.7",
+                "port",
+                "22",
+                "file",
+                "/var/log/x.log",
+                "pid",
                 "99"
             ]
         );

@@ -63,11 +63,13 @@ impl LogSink {
             Some(o) => {
                 self.matched += 1;
                 let Captures { values } = o.captures;
-                self.index.ingest(service, timestamp, message, Some(o.pattern_id), values)
+                self.index
+                    .ingest(service, timestamp, message, Some(o.pattern_id), values)
             }
             None => {
                 self.unmatched += 1;
-                self.index.ingest(service, timestamp, message, None, Vec::new())
+                self.index
+                    .ingest(service, timestamp, message, None, Vec::new())
             }
         }
     }
@@ -117,7 +119,12 @@ mod tests {
     fn matched_messages_are_enriched() {
         let mut sink = LogSink::new();
         let set = pattern_set();
-        sink.ingest(Some(&set), "sshd", 10, "Accepted password for root from 10.0.0.7 port 22");
+        sink.ingest(
+            Some(&set),
+            "sshd",
+            10,
+            "Accepted password for root from 10.0.0.7 port 22",
+        );
         sink.ingest(Some(&set), "sshd", 11, "weird unparseable thing");
         assert_eq!(sink.matched(), 1);
         assert_eq!(sink.unmatched(), 1);
@@ -128,7 +135,10 @@ mod tests {
         assert_eq!(hits.len(), 1);
         let hits = search(sink.index(), &Query::parse("user:root"));
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].fields.iter().find(|(n, _)| n == "srcip").unwrap().1, "10.0.0.7");
+        assert_eq!(
+            hits[0].fields.iter().find(|(n, _)| n == "srcip").unwrap().1,
+            "10.0.0.7"
+        );
         // Unmatched entry only via full text.
         let hits = search(sink.index(), &Query::parse("unparseable"));
         assert_eq!(hits.len(), 1);

@@ -108,13 +108,37 @@ mod tests {
 
     fn sample_index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.ingest("sshd", 100, "Accepted password for root from 10.0.0.7", Some("aaa111".into()),
-            vec![("user".into(), "root".into()), ("srcip".into(), "10.0.0.7".into())]);
-        idx.ingest("sshd", 200, "Failed password for guest from 10.0.0.9", Some("bbb222".into()),
-            vec![("user".into(), "guest".into()), ("srcip".into(), "10.0.0.9".into())]);
+        idx.ingest(
+            "sshd",
+            100,
+            "Accepted password for root from 10.0.0.7",
+            Some("aaa111".into()),
+            vec![
+                ("user".into(), "root".into()),
+                ("srcip".into(), "10.0.0.7".into()),
+            ],
+        );
+        idx.ingest(
+            "sshd",
+            200,
+            "Failed password for guest from 10.0.0.9",
+            Some("bbb222".into()),
+            vec![
+                ("user".into(), "guest".into()),
+                ("srcip".into(), "10.0.0.9".into()),
+            ],
+        );
         idx.ingest("nginx", 300, "GET /index.html 200", None, vec![]);
-        idx.ingest("sshd", 400, "Accepted password for root from 10.0.0.9", Some("aaa111".into()),
-            vec![("user".into(), "root".into()), ("srcip".into(), "10.0.0.9".into())]);
+        idx.ingest(
+            "sshd",
+            400,
+            "Accepted password for root from 10.0.0.9",
+            Some("aaa111".into()),
+            vec![
+                ("user".into(), "root".into()),
+                ("srcip".into(), "10.0.0.9".into()),
+            ],
+        );
         idx
     }
 
@@ -145,7 +169,9 @@ mod tests {
         // id pulls the whole event group.
         let hits = search(&idx, &Query::parse("pattern:aaa"));
         assert_eq!(hits.len(), 2);
-        assert!(hits.iter().all(|h| h.pattern_id.as_deref() == Some("aaa111")));
+        assert!(hits
+            .iter()
+            .all(|h| h.pattern_id.as_deref() == Some("aaa111")));
     }
 
     #[test]

@@ -68,7 +68,11 @@ struct TxnState {
 impl Database {
     /// A volatile in-memory database.
     pub fn in_memory() -> Database {
-        Database { tables: HashMap::new(), wal: None, txn: None }
+        Database {
+            tables: HashMap::new(),
+            wal: None,
+            txn: None,
+        }
     }
 
     /// `true` while a transaction is open.
@@ -149,7 +153,10 @@ impl Database {
                 if self.txn.is_some() {
                     return Err(Error::Parse("transaction already open".into()));
                 }
-                self.txn = Some(TxnState { backup: self.tables.clone(), wal_buffer: Vec::new() });
+                self.txn = Some(TxnState {
+                    backup: self.tables.clone(),
+                    wal_buffer: Vec::new(),
+                });
                 return Ok(ExecResult::None);
             }
             Statement::Commit => {
@@ -172,14 +179,19 @@ impl Database {
                 self.tables = txn.backup;
                 return Ok(ExecResult::None);
             }
-            Statement::CreateTable { name, if_not_exists, columns } => {
+            Statement::CreateTable {
+                name,
+                if_not_exists,
+                columns,
+            } => {
                 if self.tables.contains_key(name) {
                     if *if_not_exists {
                         return Ok(ExecResult::None);
                     }
                     return Err(Error::TableExists(name.clone()));
                 }
-                self.tables.insert(name.clone(), Table::new(name.clone(), columns.clone()));
+                self.tables
+                    .insert(name.clone(), Table::new(name.clone(), columns.clone()));
                 ExecResult::None
             }
             Statement::DropTable { name, if_exists } => {
@@ -188,14 +200,21 @@ impl Database {
                 }
                 ExecResult::None
             }
-            Statement::Insert { table, columns, rows, or_replace } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+                or_replace,
+            } => {
                 let n = self.run_insert(table, columns, rows, *or_replace, params)?;
                 ExecResult::Affected(n)
             }
             Statement::Select(sel) => self.run_select(sel, params)?,
-            Statement::Update { table, sets, filter } => {
-                ExecResult::Affected(self.run_update(table, sets, filter.as_ref(), params)?)
-            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => ExecResult::Affected(self.run_update(table, sets, filter.as_ref(), params)?),
             Statement::Delete { table, filter } => {
                 ExecResult::Affected(self.run_delete(table, filter.as_ref(), params)?)
             }
@@ -205,7 +224,8 @@ impl Database {
                 // Inside a transaction, buffer the rendered statement; it
                 // only reaches the WAL at COMMIT (rollbacks leave no trace).
                 Some(txn) if self.wal.is_some() => {
-                    txn.wal_buffer.push(crate::wal::render_statement(sql, params)?);
+                    txn.wal_buffer
+                        .push(crate::wal::render_statement(sql, params)?);
                 }
                 _ => {
                     if let Some(wal) = &mut self.wal {
@@ -267,11 +287,15 @@ impl Database {
     }
 
     fn table(&self, name: &str) -> Result<&Table, Error> {
-        self.tables.get(name).ok_or_else(|| Error::NoSuchTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, Error> {
-        self.tables.get_mut(name).ok_or_else(|| Error::NoSuchTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
     }
 
     fn run_insert(
@@ -288,7 +312,10 @@ impl Database {
         let col_indices: Vec<usize> = if columns.is_empty() {
             (0..t.columns.len()).collect()
         } else {
-            columns.iter().map(|c| t.column_index(c)).collect::<Result<_, _>>()?
+            columns
+                .iter()
+                .map(|c| t.column_index(c))
+                .collect::<Result<_, _>>()?
         };
         let defaults: Vec<SqlValue> = t
             .columns
@@ -298,7 +325,10 @@ impl Database {
         let mut evaluated = Vec::with_capacity(rows.len());
         for row in rows {
             if row.len() != col_indices.len() {
-                return Err(Error::ArityMismatch { expected: col_indices.len(), got: row.len() });
+                return Err(Error::ArityMismatch {
+                    expected: col_indices.len(),
+                    got: row.len(),
+                });
             }
             let mut full = defaults.clone();
             for (expr, &ci) in row.iter().zip(&col_indices) {
@@ -396,8 +426,8 @@ impl Database {
                 t.column_index(c)?;
             }
         }
-        let aggregate = sel.items.iter().any(|it| contains_aggregate(&it.expr))
-            || !sel.group_by.is_empty();
+        let aggregate =
+            sel.items.iter().any(|it| contains_aggregate(&it.expr)) || !sel.group_by.is_empty();
 
         // Header names.
         let mut headers = Vec::new();
@@ -535,7 +565,11 @@ impl Database {
                         if matches!(it.expr, Expr::Star) {
                             h.extend(t.columns.iter().map(|c| c.name.clone()));
                         } else {
-                            h.push(headers[sel.items.iter().position(|x| std::ptr::eq(x, it)).unwrap()].clone());
+                            h.push(
+                                headers
+                                    [sel.items.iter().position(|x| std::ptr::eq(x, it)).unwrap()]
+                                .clone(),
+                            );
                         }
                     }
                     h
@@ -548,8 +582,12 @@ impl Database {
 
         let offset = sel.offset.unwrap_or(0);
         let limit = sel.limit.unwrap_or(usize::MAX);
-        let rows: Vec<Vec<SqlValue>> =
-            out.into_iter().map(|(_, r)| r).skip(offset).take(limit).collect();
+        let rows: Vec<Vec<SqlValue>> = out
+            .into_iter()
+            .map(|(_, r)| r)
+            .skip(offset)
+            .take(limit)
+            .collect();
         Ok(ExecResult::Rows { columns, rows })
     }
 
@@ -561,8 +599,10 @@ impl Database {
         params: &[SqlValue],
     ) -> Result<usize, Error> {
         let t = self.table(table)?;
-        let set_indices: Vec<usize> =
-            sets.iter().map(|(c, _)| t.column_index(c)).collect::<Result<_, _>>()?;
+        let set_indices: Vec<usize> = sets
+            .iter()
+            .map(|(c, _)| t.column_index(c))
+            .collect::<Result<_, _>>()?;
         // Collect updates first (borrow rules + atomic evaluation), using
         // the unique-index fast path for point updates.
         let mut updates: Vec<(usize, Vec<SqlValue>)> = Vec::new();
@@ -587,8 +627,9 @@ impl Database {
         let n = updates.len();
         // Rebuilding the unique indexes is only needed when a constrained
         // column was assigned.
-        let touches_unique =
-            set_indices.iter().any(|&ci| t.columns[ci].unique || t.columns[ci].primary_key);
+        let touches_unique = set_indices
+            .iter()
+            .any(|&ci| t.columns[ci].unique || t.columns[ci].primary_key);
         let t = self.table_mut(table)?;
         for (row_idx, vals) in updates {
             for (ci, v) in set_indices.iter().zip(vals) {
@@ -633,7 +674,9 @@ impl Database {
     /// capture uncommitted state).
     pub fn checkpoint(&mut self) -> Result<(), Error> {
         if self.txn.is_some() {
-            return Err(Error::Parse("cannot checkpoint inside a transaction".into()));
+            return Err(Error::Parse(
+                "cannot checkpoint inside a transaction".into(),
+            ));
         }
         let stmts = self.dump_statements();
         if let Some(wal) = &mut self.wal {
@@ -750,15 +793,17 @@ fn eval(
 ) -> Result<SqlValue, Error> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Param(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or(Error::ParamCount { expected: *i + 1, got: params.len() }),
+        Expr::Param(i) => params.get(*i).cloned().ok_or(Error::ParamCount {
+            expected: *i + 1,
+            got: params.len(),
+        }),
         Expr::Column(name) => match row {
             Some((t, r)) => Ok(r[t.column_index(name)?].clone()),
             None => Err(Error::NoSuchColumn(name.clone())),
         },
-        Expr::Star => Err(Error::Parse("* is only valid in COUNT(*) or as a projection".into())),
+        Expr::Star => Err(Error::Parse(
+            "* is only valid in COUNT(*) or as a projection".into(),
+        )),
         Expr::Unary(UnaryOp::Neg, inner) => {
             let v = eval(inner, row, params)?;
             match v {
@@ -878,8 +923,12 @@ fn eval_binop(l: &SqlValue, op: BinOp, r: &SqlValue) -> Result<SqlValue, Error> 
                     _ => unreachable!(),
                 }),
                 _ => {
-                    let a = l.as_real().ok_or_else(|| Error::Type("arith on text".into()))?;
-                    let b = r.as_real().ok_or_else(|| Error::Type("arith on text".into()))?;
+                    let a = l
+                        .as_real()
+                        .ok_or_else(|| Error::Type("arith on text".into()))?;
+                    let b = r
+                        .as_real()
+                        .ok_or_else(|| Error::Type("arith on text".into()))?;
                     Ok(match op {
                         Add => SqlValue::Real(a + b),
                         Sub => SqlValue::Real(a - b),
@@ -921,9 +970,7 @@ fn like_match(s: &str, pat: &str) -> bool {
                 false
             }
             Some(b'_') => !s.is_empty() && inner(&s[1..], &p[1..]),
-            Some(&c) => {
-                !s.is_empty() && s[0].eq_ignore_ascii_case(&c) && inner(&s[1..], &p[1..])
-            }
+            Some(&c) => !s.is_empty() && s[0].eq_ignore_ascii_case(&c) && inner(&s[1..], &p[1..]),
         }
     }
     inner(s.as_bytes(), pat.as_bytes())
@@ -937,14 +984,24 @@ fn eval_scalar_call(
 ) -> Result<SqlValue, Error> {
     match name {
         "LENGTH" => {
-            let v = eval(args.first().ok_or_else(|| Error::Parse("LENGTH needs 1 arg".into()))?, row, params)?;
+            let v = eval(
+                args.first()
+                    .ok_or_else(|| Error::Parse("LENGTH needs 1 arg".into()))?,
+                row,
+                params,
+            )?;
             Ok(match v {
                 SqlValue::Null => SqlValue::Null,
                 other => SqlValue::Integer(other.to_string().chars().count() as i64),
             })
         }
         "LOWER" | "UPPER" => {
-            let v = eval(args.first().ok_or_else(|| Error::Parse("needs 1 arg".into()))?, row, params)?;
+            let v = eval(
+                args.first()
+                    .ok_or_else(|| Error::Parse("needs 1 arg".into()))?,
+                row,
+                params,
+            )?;
             Ok(match v {
                 SqlValue::Text(s) => SqlValue::Text(if name == "LOWER" {
                     s.to_lowercase()
@@ -955,7 +1012,12 @@ fn eval_scalar_call(
             })
         }
         "ABS" => {
-            let v = eval(args.first().ok_or_else(|| Error::Parse("ABS needs 1 arg".into()))?, row, params)?;
+            let v = eval(
+                args.first()
+                    .ok_or_else(|| Error::Parse("ABS needs 1 arg".into()))?,
+                row,
+                params,
+            )?;
             Ok(match v {
                 SqlValue::Integer(i) => SqlValue::Integer(i.abs()),
                 SqlValue::Real(r) => SqlValue::Real(r.abs()),
@@ -984,9 +1046,7 @@ fn is_aggregate_name(name: &str) -> bool {
 
 fn contains_aggregate(e: &Expr) -> bool {
     match e {
-        Expr::Call(name, args) => {
-            is_aggregate_name(name) || args.iter().any(contains_aggregate)
-        }
+        Expr::Call(name, args) => is_aggregate_name(name) || args.iter().any(contains_aggregate),
         Expr::Unary(_, inner) => contains_aggregate(inner),
         Expr::Binary(l, _, r) => contains_aggregate(l) || contains_aggregate(r),
         Expr::IsNull(inner, _) => contains_aggregate(inner),
@@ -1058,7 +1118,11 @@ fn eval_aggregate(
             let v = eval_aggregate(inner, t, rows, params)?;
             match op {
                 UnaryOp::Neg => eval_binop(&SqlValue::Integer(0), BinOp::Sub, &v),
-                UnaryOp::Not => Ok(if v.is_null() { SqlValue::Null } else { bool_val(!truthy(&v)) }),
+                UnaryOp::Not => Ok(if v.is_null() {
+                    SqlValue::Null
+                } else {
+                    bool_val(!truthy(&v))
+                }),
             }
         }
         other => match rows.first() {
@@ -1117,8 +1181,16 @@ mod tests {
     #[test]
     fn select_where_order_limit() {
         let mut db = db_with_data();
-        let rows = db.query("SELECT id FROM p WHERE cnt > 1 ORDER BY cnt DESC LIMIT 2").unwrap();
-        assert_eq!(rows, vec![vec![SqlValue::Text("p1".into())], vec![SqlValue::Text("p3".into())]]);
+        let rows = db
+            .query("SELECT id FROM p WHERE cnt > 1 ORDER BY cnt DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![SqlValue::Text("p1".into())],
+                vec![SqlValue::Text("p3".into())]
+            ]
+        );
     }
 
     #[test]
@@ -1140,14 +1212,19 @@ mod tests {
         let rows = db
             .query("SELECT service, COUNT(*) AS n, SUM(cnt) FROM p GROUP BY service ORDER BY n DESC, service")
             .unwrap();
-        assert_eq!(rows[0], vec!["sshd".into(), SqlValue::Integer(2), SqlValue::Integer(13)]);
+        assert_eq!(
+            rows[0],
+            vec!["sshd".into(), SqlValue::Integer(2), SqlValue::Integer(13)]
+        );
         assert_eq!(rows.len(), 3);
     }
 
     #[test]
     fn aggregate_without_group() {
         let mut db = db_with_data();
-        let rows = db.query("SELECT COUNT(*), MIN(cnt), MAX(score), AVG(cnt) FROM p").unwrap();
+        let rows = db
+            .query("SELECT COUNT(*), MIN(cnt), MAX(score), AVG(cnt) FROM p")
+            .unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(4));
         assert_eq!(rows[0][1], SqlValue::Integer(1));
         assert_eq!(rows[0][2], SqlValue::Real(1.0));
@@ -1157,7 +1234,9 @@ mod tests {
     #[test]
     fn aggregate_over_empty_set() {
         let mut db = db_with_data();
-        let rows = db.query("SELECT COUNT(*), SUM(cnt) FROM p WHERE cnt > 100").unwrap();
+        let rows = db
+            .query("SELECT COUNT(*), SUM(cnt) FROM p WHERE cnt > 100")
+            .unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(0));
         assert_eq!(rows[0][1], SqlValue::Null);
     }
@@ -1165,17 +1244,29 @@ mod tests {
     #[test]
     fn update_rows() {
         let mut db = db_with_data();
-        let n = db.execute("UPDATE p SET cnt = cnt + 1 WHERE service = 'sshd'").unwrap();
+        let n = db
+            .execute("UPDATE p SET cnt = cnt + 1 WHERE service = 'sshd'")
+            .unwrap();
         assert_eq!(n.affected(), 2);
-        let rows = db.query("SELECT SUM(cnt) FROM p WHERE service = 'sshd'").unwrap();
+        let rows = db
+            .query("SELECT SUM(cnt) FROM p WHERE service = 'sshd'")
+            .unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(15));
     }
 
     #[test]
     fn delete_rows() {
         let mut db = db_with_data();
-        assert_eq!(db.execute("DELETE FROM p WHERE cnt < 5").unwrap().affected(), 2);
-        assert_eq!(db.query("SELECT COUNT(*) FROM p").unwrap()[0][0], SqlValue::Integer(2));
+        assert_eq!(
+            db.execute("DELETE FROM p WHERE cnt < 5")
+                .unwrap()
+                .affected(),
+            2
+        );
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM p").unwrap()[0][0],
+            SqlValue::Integer(2)
+        );
     }
 
     #[test]
@@ -1183,28 +1274,46 @@ mod tests {
         let mut db = db_with_data();
         db.execute("INSERT OR REPLACE INTO p (id, service, cnt) VALUES ('p1', 'sshd', 999)")
             .unwrap();
-        let rows = db.query("SELECT cnt, score FROM p WHERE id = 'p1'").unwrap();
+        let rows = db
+            .query("SELECT cnt, score FROM p WHERE id = 'p1'")
+            .unwrap();
         assert_eq!(rows[0][0], SqlValue::Integer(999));
         // Unspecified column falls back to its default (NULL here).
         assert_eq!(rows[0][1], SqlValue::Null);
-        assert_eq!(db.query("SELECT COUNT(*) FROM p").unwrap()[0][0], SqlValue::Integer(4));
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM p").unwrap()[0][0],
+            SqlValue::Integer(4)
+        );
     }
 
     #[test]
     fn like_and_in() {
         let mut db = db_with_data();
-        let rows = db.query("SELECT id FROM p WHERE service LIKE 'ss%'").unwrap();
+        let rows = db
+            .query("SELECT id FROM p WHERE service LIKE 'ss%'")
+            .unwrap();
         assert_eq!(rows.len(), 2);
-        let rows = db.query("SELECT id FROM p WHERE service IN ('cron', 'nginx') ORDER BY id").unwrap();
+        let rows = db
+            .query("SELECT id FROM p WHERE service IN ('cron', 'nginx') ORDER BY id")
+            .unwrap();
         assert_eq!(rows.len(), 2);
-        let rows = db.query("SELECT id FROM p WHERE service NOT LIKE '%n%' ORDER BY id").unwrap();
-        assert_eq!(rows, vec![vec![SqlValue::Text("p1".into())], vec![SqlValue::Text("p2".into())]]);
+        let rows = db
+            .query("SELECT id FROM p WHERE service NOT LIKE '%n%' ORDER BY id")
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![SqlValue::Text("p1".into())],
+                vec![SqlValue::Text("p2".into())]
+            ]
+        );
     }
 
     #[test]
     fn null_semantics() {
         let mut db = db_with_data();
-        db.execute("INSERT INTO p (id, service) VALUES ('p5', 'x')").unwrap();
+        db.execute("INSERT INTO p (id, service) VALUES ('p5', 'x')")
+            .unwrap();
         // score IS NULL for p5 only.
         let rows = db.query("SELECT id FROM p WHERE score IS NULL").unwrap();
         assert_eq!(rows, vec![vec![SqlValue::Text("p5".into())]]);
@@ -1217,7 +1326,10 @@ mod tests {
     fn unique_violation_and_params() {
         let mut db = db_with_data();
         let err = db
-            .execute_with("INSERT INTO p (id, service) VALUES (?, ?)", &["p1".into(), "x".into()])
+            .execute_with(
+                "INSERT INTO p (id, service) VALUES (?, ?)",
+                &["p1".into(), "x".into()],
+            )
             .unwrap_err();
         assert!(matches!(err, Error::UniqueViolation { .. }));
         let err = db.execute_with("INSERT INTO p (id, service) VALUES (?, ?)", &["z".into()]);
@@ -1227,7 +1339,9 @@ mod tests {
     #[test]
     fn scalar_functions() {
         let mut db = Database::in_memory();
-        let rows = db.query("SELECT LENGTH('hello'), UPPER('ab'), COALESCE(NULL, 3), ABS(-4)").unwrap();
+        let rows = db
+            .query("SELECT LENGTH('hello'), UPPER('ab'), COALESCE(NULL, 3), ABS(-4)")
+            .unwrap();
         assert_eq!(
             rows[0],
             vec![
@@ -1242,7 +1356,9 @@ mod tests {
     #[test]
     fn constant_select_and_arith() {
         let mut db = Database::in_memory();
-        let rows = db.query("SELECT 1 + 2 * 3, 'a' || 'b', 7 / 2, 7.0 / 2").unwrap();
+        let rows = db
+            .query("SELECT 1 + 2 * 3, 'a' || 'b', 7 / 2, 7.0 / 2")
+            .unwrap();
         assert_eq!(
             rows[0],
             vec![
@@ -1293,7 +1409,9 @@ mod tests {
         let plan = db.query("EXPLAIN SELECT * FROM p WHERE cnt > 3").unwrap();
         assert!(plan[0][0].to_string().contains("SCAN p"), "{plan:?}");
         let plan = db
-            .query("EXPLAIN SELECT service, COUNT(*) FROM p GROUP BY service ORDER BY service LIMIT 1")
+            .query(
+                "EXPLAIN SELECT service, COUNT(*) FROM p GROUP BY service ORDER BY service LIMIT 1",
+            )
             .unwrap();
         let text: Vec<String> = plan.iter().map(|r| r[0].to_string()).collect();
         assert!(text.iter().any(|l| l.contains("AGGREGATE")), "{text:?}");
@@ -1302,7 +1420,10 @@ mod tests {
         // EXPLAIN executes nothing.
         let plan = db.query("EXPLAIN DELETE FROM p").unwrap();
         assert!(plan[0][0].to_string().contains("SCAN"));
-        assert_eq!(db.query("SELECT COUNT(*) FROM p").unwrap()[0][0], SqlValue::Integer(4));
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM p").unwrap()[0][0],
+            SqlValue::Integer(4)
+        );
     }
 
     #[test]
@@ -1325,14 +1446,26 @@ mod tests {
         db.execute("BEGIN").unwrap();
         assert!(db.in_transaction());
         db.execute("DELETE FROM p").unwrap();
-        db.execute("INSERT INTO p (id, service) VALUES ('tmp', 'x')").unwrap();
-        assert_eq!(db.query("SELECT COUNT(*) FROM p").unwrap()[0][0], SqlValue::Integer(1));
+        db.execute("INSERT INTO p (id, service) VALUES ('tmp', 'x')")
+            .unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM p").unwrap()[0][0],
+            SqlValue::Integer(1)
+        );
         db.execute("ROLLBACK").unwrap();
         assert!(!db.in_transaction());
-        assert_eq!(db.query("SELECT COUNT(*) FROM p").unwrap()[0][0], SqlValue::Integer(4));
-        assert!(db.query("SELECT * FROM p WHERE id = 'tmp'").unwrap().is_empty());
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM p").unwrap()[0][0],
+            SqlValue::Integer(4)
+        );
+        assert!(db
+            .query("SELECT * FROM p WHERE id = 'tmp'")
+            .unwrap()
+            .is_empty());
         // Unique index still consistent after restore.
-        assert!(db.execute("INSERT INTO p (id, service) VALUES ('p1', 'x')").is_err());
+        assert!(db
+            .execute("INSERT INTO p (id, service) VALUES ('p1', 'x')")
+            .is_err());
     }
 
     #[test]
@@ -1341,7 +1474,10 @@ mod tests {
         db.execute("BEGIN TRANSACTION").unwrap();
         db.execute("UPDATE p SET cnt = 0").unwrap();
         db.execute("COMMIT").unwrap();
-        assert_eq!(db.query("SELECT SUM(cnt) FROM p").unwrap()[0][0], SqlValue::Integer(0));
+        assert_eq!(
+            db.query("SELECT SUM(cnt) FROM p").unwrap()[0][0],
+            SqlValue::Integer(0)
+        );
     }
 
     #[test]
@@ -1357,8 +1493,9 @@ mod tests {
     #[test]
     fn order_by_alias() {
         let mut db = db_with_data();
-        let rows =
-            db.query("SELECT id, cnt * 2 AS double_cnt FROM p ORDER BY double_cnt DESC LIMIT 1").unwrap();
+        let rows = db
+            .query("SELECT id, cnt * 2 AS double_cnt FROM p ORDER BY double_cnt DESC LIMIT 1")
+            .unwrap();
         assert_eq!(rows[0][0], SqlValue::Text("p1".into()));
     }
 }

@@ -75,9 +75,7 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>, Error> {
             out.push(Tok::Str(s));
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == b'.' && b.get(i + 1).map_or(false, |d| d.is_ascii_digit()))
-        {
+        if c.is_ascii_digit() || (c == b'.' && b.get(i + 1).map_or(false, |d| d.is_ascii_digit())) {
             let start = i;
             let mut is_float = false;
             while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
@@ -98,9 +96,15 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>, Error> {
             }
             let text = &sql[start..i];
             if is_float {
-                out.push(Tok::Float(text.parse().map_err(|_| Error::Lex(format!("bad number {text}")))?));
+                out.push(Tok::Float(
+                    text.parse()
+                        .map_err(|_| Error::Lex(format!("bad number {text}")))?,
+                ));
             } else {
-                out.push(Tok::Int(text.parse().map_err(|_| Error::Lex(format!("bad number {text}")))?));
+                out.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| Error::Lex(format!("bad number {text}")))?,
+                ));
             }
             continue;
         }

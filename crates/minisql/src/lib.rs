@@ -61,15 +61,21 @@ mod persistence_tests {
         let dir = tmpdir("reopen");
         {
             let mut db = Database::open(&dir).unwrap();
-            db.execute("CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER)").unwrap();
-            db.execute_with("INSERT INTO t VALUES (?, ?)", &["a".into(), 1i64.into()]).unwrap();
-            db.execute_with("INSERT INTO t VALUES (?, ?)", &["b".into(), 2i64.into()]).unwrap();
+            db.execute("CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER)")
+                .unwrap();
+            db.execute_with("INSERT INTO t VALUES (?, ?)", &["a".into(), 1i64.into()])
+                .unwrap();
+            db.execute_with("INSERT INTO t VALUES (?, ?)", &["b".into(), 2i64.into()])
+                .unwrap();
             db.execute("UPDATE t SET n = 10 WHERE id = 'a'").unwrap();
         }
         {
             let mut db = Database::open(&dir).unwrap();
             let rows = db.query("SELECT n FROM t ORDER BY id").unwrap();
-            assert_eq!(rows, vec![vec![SqlValue::Integer(10)], vec![SqlValue::Integer(2)]]);
+            assert_eq!(
+                rows,
+                vec![vec![SqlValue::Integer(10)], vec![SqlValue::Integer(2)]]
+            );
         }
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -79,7 +85,8 @@ mod persistence_tests {
         let dir = tmpdir("ckpt");
         {
             let mut db = Database::open(&dir).unwrap();
-            db.execute("CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER)").unwrap();
+            db.execute("CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER)")
+                .unwrap();
             for i in 0..50 {
                 db.execute_with(
                     "INSERT INTO t VALUES (?, ?)",
@@ -101,7 +108,10 @@ mod persistence_tests {
             assert_eq!(rows[0][1], SqlValue::Integer(10));
             // The WAL was truncated at checkpoint; only the DELETE follows.
             let wal_size = fs::metadata(dir.join("wal.sql")).unwrap().len();
-            assert!(wal_size < 200, "wal should be small after checkpoint, got {wal_size}");
+            assert!(
+                wal_size < 200,
+                "wal should be small after checkpoint, got {wal_size}"
+            );
         }
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -111,7 +121,8 @@ mod persistence_tests {
         let dir = tmpdir("txn");
         {
             let mut db = Database::open(&dir).unwrap();
-            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+                .unwrap();
             db.execute("BEGIN").unwrap();
             db.execute("INSERT INTO t VALUES (1)").unwrap();
             db.execute("ROLLBACK").unwrap();
@@ -131,7 +142,8 @@ mod persistence_tests {
     fn checkpoint_refused_inside_transaction() {
         let dir = tmpdir("txn-ckpt");
         let mut db = Database::open(&dir).unwrap();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
         db.execute("BEGIN").unwrap();
         assert!(db.checkpoint().is_err());
         db.execute("COMMIT").unwrap();
@@ -145,8 +157,10 @@ mod persistence_tests {
         let msg = "panic: boom\n  at a()\n  at b()";
         {
             let mut db = Database::open(&dir).unwrap();
-            db.execute("CREATE TABLE ex (id INTEGER PRIMARY KEY, body TEXT)").unwrap();
-            db.execute_with("INSERT INTO ex VALUES (?, ?)", &[1i64.into(), msg.into()]).unwrap();
+            db.execute("CREATE TABLE ex (id INTEGER PRIMARY KEY, body TEXT)")
+                .unwrap();
+            db.execute_with("INSERT INTO ex VALUES (?, ?)", &[1i64.into(), msg.into()])
+                .unwrap();
             db.checkpoint().unwrap();
         }
         {

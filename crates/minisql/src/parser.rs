@@ -8,11 +8,18 @@ use crate::value::SqlValue;
 /// Parse one statement (a trailing `;` is tolerated).
 pub fn parse(sql: &str) -> Result<Statement, Error> {
     let toks = lex(sql)?;
-    let mut p = P { toks, i: 0, params: 0 };
+    let mut p = P {
+        toks,
+        i: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_punct(";");
     if p.i != p.toks.len() {
-        return Err(Error::Parse(format!("trailing tokens after statement: {:?}", &p.toks[p.i..])));
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.toks[p.i..]
+        )));
     }
     Ok(stmt)
 }
@@ -58,7 +65,10 @@ impl P {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -75,14 +85,19 @@ impl P {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {p:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {p:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String, Error> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -137,7 +152,11 @@ impl P {
             self.expect_punct(")")?;
             break;
         }
-        Ok(Statement::CreateTable { name, if_not_exists, columns })
+        Ok(Statement::CreateTable {
+            name,
+            if_not_exists,
+            columns,
+        })
     }
 
     fn column_def(&mut self) -> Result<ColumnDef, Error> {
@@ -157,7 +176,14 @@ impl P {
                 }
             }
         }
-        let mut def = ColumnDef { name, ty, primary_key: false, not_null: false, unique: false, default: None };
+        let mut def = ColumnDef {
+            name,
+            ty,
+            primary_key: false,
+            not_null: false,
+            unique: false,
+            default: None,
+        };
         loop {
             if self.eat_kw("PRIMARY") {
                 self.expect_kw("KEY")?;
@@ -187,7 +213,9 @@ impl P {
             Some(Tok::Punct("-")) => match self.next() {
                 Some(Tok::Int(v)) => Ok(SqlValue::Integer(-v)),
                 Some(Tok::Float(v)) => Ok(SqlValue::Real(-v)),
-                other => Err(Error::Parse(format!("expected number after -, found {other:?}"))),
+                other => Err(Error::Parse(format!(
+                    "expected number after -, found {other:?}"
+                ))),
             },
             other => Err(Error::Parse(format!("expected literal, found {other:?}"))),
         }
@@ -202,7 +230,10 @@ impl P {
         } else {
             false
         };
-        Ok(Statement::DropTable { name: self.ident()?, if_exists })
+        Ok(Statement::DropTable {
+            name: self.ident()?,
+            if_exists,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, Error> {
@@ -244,7 +275,12 @@ impl P {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows, or_replace })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+            or_replace,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt, Error> {
@@ -252,14 +288,26 @@ impl P {
         let mut items = Vec::new();
         loop {
             let expr = self.expr()?;
-            let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             items.push(SelectItem { expr, alias });
             if !self.eat_punct(",") {
                 break;
             }
         }
-        let table = if self.eat_kw("FROM") { Some(self.ident()?) } else { None };
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let table = if self.eat_kw("FROM") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -270,7 +318,11 @@ impl P {
                 }
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -288,15 +340,34 @@ impl P {
                 }
             }
         }
-        let limit = if self.eat_kw("LIMIT") { Some(self.usize_lit()?) } else { None };
-        let offset = if self.eat_kw("OFFSET") { Some(self.usize_lit()?) } else { None };
-        Ok(SelectStmt { items, table, filter, group_by, having, order_by, limit, offset })
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.usize_lit()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw("OFFSET") {
+            Some(self.usize_lit()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            table,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn usize_lit(&mut self) -> Result<usize, Error> {
         match self.next() {
             Some(Tok::Int(v)) if v >= 0 => Ok(v as usize),
-            other => Err(Error::Parse(format!("expected non-negative integer, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
         }
     }
 
@@ -313,15 +384,27 @@ impl P {
                 break;
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, filter })
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, Error> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -506,7 +589,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, if_not_exists, columns } => {
+            Statement::CreateTable {
+                name,
+                if_not_exists,
+                columns,
+            } => {
                 assert_eq!(name, "patterns");
                 assert!(if_not_exists);
                 assert_eq!(columns.len(), 4);
@@ -522,7 +609,12 @@ mod tests {
     fn insert_with_params_and_multirow() {
         let s = parse("INSERT OR REPLACE INTO t (a, b) VALUES (?, ?), (1, 'x')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows, or_replace } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+                or_replace,
+            } => {
                 assert_eq!(table, "t");
                 assert!(or_replace);
                 assert_eq!(columns, vec!["a", "b"]);
@@ -587,8 +679,14 @@ mod tests {
             parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = ?").unwrap(),
             Statement::Update { .. }
         ));
-        assert!(matches!(parse("DELETE FROM t WHERE a < 3").unwrap(), Statement::Delete { .. }));
-        assert!(matches!(parse("DELETE FROM t").unwrap(), Statement::Delete { filter: None, .. }));
+        assert!(matches!(
+            parse("DELETE FROM t WHERE a < 3").unwrap(),
+            Statement::Delete { .. }
+        ));
+        assert!(matches!(
+            parse("DELETE FROM t").unwrap(),
+            Statement::Delete { filter: None, .. }
+        ));
     }
 
     #[test]
@@ -602,7 +700,8 @@ mod tests {
 
     #[test]
     fn having_clause() {
-        let s = parse("SELECT service, COUNT(*) FROM p GROUP BY service HAVING COUNT(*) > 2").unwrap();
+        let s =
+            parse("SELECT service, COUNT(*) FROM p GROUP BY service HAVING COUNT(*) > 2").unwrap();
         match s {
             Statement::Select(sel) => assert!(sel.having.is_some()),
             _ => unreachable!(),

@@ -46,7 +46,12 @@ impl Table {
             .filter(|(_, c)| c.unique || c.primary_key)
             .map(|(i, _)| (i, HashMap::new()))
             .collect();
-        Table { name, columns, rows: Vec::new(), unique }
+        Table {
+            name,
+            columns,
+            rows: Vec::new(),
+            unique,
+        }
     }
 
     /// Index of a column by case-insensitive name.
@@ -95,7 +100,10 @@ impl Table {
     /// existing row in place.
     pub fn insert(&mut self, mut row: Vec<SqlValue>, or_replace: bool) -> Result<(), Error> {
         if row.len() != self.columns.len() {
-            return Err(Error::ArityMismatch { expected: self.columns.len(), got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         for i in 0..row.len() {
             let v = std::mem::replace(&mut row[i], SqlValue::Null);
@@ -155,7 +163,10 @@ impl Table {
                     })
                     .map(|(c, _)| self.columns[*c].name.clone())
                     .unwrap_or_default();
-                Err(Error::UniqueViolation { table: self.name.clone(), column: col })
+                Err(Error::UniqueViolation {
+                    table: self.name.clone(),
+                    column: col,
+                })
             }
         }
     }
@@ -180,7 +191,8 @@ impl Table {
             keep += 1;
         }
         self.rows.truncate(keep);
-        self.rebuild_indexes().expect("deleting rows cannot create conflicts");
+        self.rebuild_indexes()
+            .expect("deleting rows cannot create conflicts");
     }
 
     /// Rebuild the unique indexes from the row store, failing on duplicates
@@ -264,7 +276,9 @@ mod tests {
     #[test]
     fn not_null_enforced() {
         let mut t = Table::new("t".into(), cols());
-        let err = t.insert(vec![SqlValue::Null, 1i64.into()], false).unwrap_err();
+        let err = t
+            .insert(vec![SqlValue::Null, 1i64.into()], false)
+            .unwrap_err();
         assert!(matches!(err, Error::NotNullViolation { .. }));
     }
 
@@ -272,7 +286,8 @@ mod tests {
     fn delete_keeps_index_consistent() {
         let mut t = Table::new("t".into(), cols());
         for (i, id) in ["a", "b", "c"].iter().enumerate() {
-            t.insert(vec![(*id).into(), (i as i64).into()], false).unwrap();
+            t.insert(vec![(*id).into(), (i as i64).into()], false)
+                .unwrap();
         }
         t.delete_rows(&[1]);
         assert_eq!(t.rows.len(), 2);
@@ -284,7 +299,8 @@ mod tests {
     #[test]
     fn coercion() {
         let mut t = Table::new("t".into(), cols());
-        t.insert(vec!["a".into(), SqlValue::Real(3.0)], false).unwrap();
+        t.insert(vec!["a".into(), SqlValue::Real(3.0)], false)
+            .unwrap();
         assert_eq!(t.rows[0][1], SqlValue::Integer(3));
     }
 

@@ -121,16 +121,31 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(SqlValue::Integer(1).compare(&SqlValue::Integer(2)), Some(Ordering::Less));
-        assert_eq!(SqlValue::Integer(2).compare(&SqlValue::Real(2.0)), Some(Ordering::Equal));
-        assert_eq!(SqlValue::Text("a".into()).compare(&SqlValue::Text("b".into())), Some(Ordering::Less));
+        assert_eq!(
+            SqlValue::Integer(1).compare(&SqlValue::Integer(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            SqlValue::Integer(2).compare(&SqlValue::Real(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            SqlValue::Text("a".into()).compare(&SqlValue::Text("b".into())),
+            Some(Ordering::Less)
+        );
         assert_eq!(SqlValue::Null.compare(&SqlValue::Integer(1)), None);
-        assert_eq!(SqlValue::Integer(9).compare(&SqlValue::Text("1".into())), Some(Ordering::Less));
+        assert_eq!(
+            SqlValue::Integer(9).compare(&SqlValue::Text("1".into())),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn null_sorts_first_in_total_order() {
-        assert_eq!(SqlValue::Null.total_cmp(&SqlValue::Integer(0)), Ordering::Less);
+        assert_eq!(
+            SqlValue::Null.total_cmp(&SqlValue::Integer(0)),
+            Ordering::Less
+        );
         assert_eq!(SqlValue::Null.total_cmp(&SqlValue::Null), Ordering::Equal);
     }
 

@@ -32,8 +32,14 @@ impl Wal {
     /// Open (creating if needed) the durability files under `dir`.
     pub fn open(dir: &Path) -> Result<Wal, Error> {
         fs::create_dir_all(dir)?;
-        let wal = OpenOptions::new().create(true).append(true).open(dir.join("wal.sql"))?;
-        Ok(Wal { dir: dir.to_path_buf(), wal })
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("wal.sql"))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            wal,
+        })
     }
 
     /// All statements to replay, snapshot first.
@@ -93,7 +99,9 @@ fn read_frames(path: &Path) -> Result<Vec<String>, Error> {
     let mut out = Vec::new();
     while i < bytes.len() {
         if bytes[i] != b'#' {
-            return Err(Error::Corrupt(format!("bad frame header at byte {i} of {path:?}")));
+            return Err(Error::Corrupt(format!(
+                "bad frame header at byte {i} of {path:?}"
+            )));
         }
         let nl = data[i..]
             .find('\n')
@@ -132,9 +140,10 @@ pub fn render_statement(sql: &str, params: &[SqlValue]) -> Result<String, Error>
             Tok::Int(v) => out.push_str(&v.to_string()),
             Tok::Float(v) => out.push_str(&format!("{v}")),
             Tok::Param => {
-                let v = params
-                    .get(param_idx)
-                    .ok_or(Error::ParamCount { expected: param_idx + 1, got: params.len() })?;
+                let v = params.get(param_idx).ok_or(Error::ParamCount {
+                    expected: param_idx + 1,
+                    got: params.len(),
+                })?;
                 param_idx += 1;
                 out.push_str(&crate::engine::sql_literal(v));
             }
@@ -169,7 +178,8 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let mut wal = Wal::open(&dir).unwrap();
-            wal.log("INSERT INTO t VALUES (?)", &["line1\nline2".into()]).unwrap();
+            wal.log("INSERT INTO t VALUES (?)", &["line1\nline2".into()])
+                .unwrap();
             wal.log("DELETE FROM t", &[]).unwrap();
         }
         let wal = Wal::open(&dir).unwrap();
@@ -188,7 +198,10 @@ mod tests {
             wal.log("DELETE FROM a", &[]).unwrap();
         }
         // Simulate a crash mid-append.
-        let mut f = OpenOptions::new().append(true).open(dir.join("wal.sql")).unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.sql"))
+            .unwrap();
         f.write_all(b"#100\nDELETE FROM").unwrap();
         drop(f);
         let wal = Wal::open(&dir).unwrap();

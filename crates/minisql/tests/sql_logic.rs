@@ -13,7 +13,10 @@ fn render(r: &ExecResult) -> String {
         ExecResult::Rows { rows, .. } => rows
             .iter()
             .map(|row| {
-                row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|")
+                row.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
             })
             .collect::<Vec<_>>()
             .join("\n"),
@@ -33,8 +36,7 @@ fn run_script(cases: &[(&str, &str)]) {
             }
             Err(e) => {
                 assert_eq!(
-                    *expected,
-                    "error",
+                    *expected, "error",
                     "case {i}: {sql} unexpectedly failed with {e}"
                 );
             }
@@ -45,12 +47,21 @@ fn run_script(cases: &[(&str, &str)]) {
 #[test]
 fn schema_and_inserts() {
     run_script(&[
-        ("CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c REAL DEFAULT 1.5)", "ok"),
+        (
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c REAL DEFAULT 1.5)",
+            "ok",
+        ),
         ("CREATE TABLE t (a INTEGER)", "error"),
         ("CREATE TABLE IF NOT EXISTS t (a INTEGER)", "ok"),
         ("INSERT INTO t (a, b) VALUES (1, 'one')", "#1"),
-        ("INSERT INTO t (a, b, c) VALUES (2, 'two', 2.5), (3, 'three', 3.5)", "#2"),
-        ("SELECT a, b, c FROM t ORDER BY a", "1|one|1.5\n2|two|2.5\n3|three|3.5"),
+        (
+            "INSERT INTO t (a, b, c) VALUES (2, 'two', 2.5), (3, 'three', 3.5)",
+            "#2",
+        ),
+        (
+            "SELECT a, b, c FROM t ORDER BY a",
+            "1|one|1.5\n2|two|2.5\n3|three|3.5",
+        ),
         ("INSERT INTO t (a, b) VALUES (1, 'dup')", "error"),
         ("INSERT INTO t (a) VALUES (9)", "error"), // b NOT NULL
         ("INSERT OR REPLACE INTO t (a, b) VALUES (1, 'uno')", "#1"),
@@ -63,14 +74,20 @@ fn schema_and_inserts() {
 fn filtering_and_expressions() {
     run_script(&[
         ("CREATE TABLE n (x INTEGER, y INTEGER)", "ok"),
-        ("INSERT INTO n VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, NULL)", "#5"),
+        (
+            "INSERT INTO n VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, NULL)",
+            "#5",
+        ),
         ("SELECT x FROM n WHERE y > 15 AND y < 35 ORDER BY x", "2\n3"),
         ("SELECT x FROM n WHERE y IS NULL", "5"),
         ("SELECT x FROM n WHERE y IS NOT NULL AND x IN (1, 5)", "1"),
         ("SELECT x FROM n WHERE NOT (x < 4) ORDER BY x", "4\n5"),
         ("SELECT x + y FROM n WHERE x = 2", "22"),
         ("SELECT x * 2 + 1 FROM n WHERE x = 3", "7"),
-        ("SELECT x FROM n WHERE y / 10 = x AND x <= 2 ORDER BY x", "1\n2"),
+        (
+            "SELECT x FROM n WHERE y / 10 = x AND x <= 2 ORDER BY x",
+            "1\n2",
+        ),
         ("SELECT x FROM n WHERE x % 2 = 0", "error"), // % unsupported
         ("SELECT -x FROM n WHERE x = 1", "-1"),
         ("SELECT x FROM n ORDER BY y DESC LIMIT 2", "4\n3"),
@@ -82,7 +99,10 @@ fn filtering_and_expressions() {
 fn strings_and_like() {
     run_script(&[
         ("CREATE TABLE s (v TEXT)", "ok"),
-        ("INSERT INTO s VALUES ('alpha'), ('beta'), ('ALPHABET'), ('gamma ray'), ('')", "#5"),
+        (
+            "INSERT INTO s VALUES ('alpha'), ('beta'), ('ALPHABET'), ('gamma ray'), ('')",
+            "#5",
+        ),
         ("SELECT v FROM s WHERE v LIKE 'alpha'", "alpha"),
         ("SELECT COUNT(*) FROM s WHERE v LIKE 'alpha%'", "2"), // case-insensitive
         ("SELECT v FROM s WHERE v LIKE '%ray'", "gamma ray"),
@@ -99,12 +119,21 @@ fn strings_and_like() {
 fn aggregates_and_groups() {
     run_script(&[
         ("CREATE TABLE g (k TEXT, v INTEGER)", "ok"),
-        ("INSERT INTO g VALUES ('a', 1), ('a', 2), ('b', 10), ('b', 20), ('b', 30), ('c', NULL)", "#6"),
+        (
+            "INSERT INTO g VALUES ('a', 1), ('a', 2), ('b', 10), ('b', 20), ('b', 30), ('c', NULL)",
+            "#6",
+        ),
         ("SELECT COUNT(*), COUNT(v) FROM g", "6|5"),
         ("SELECT SUM(v), MIN(v), MAX(v) FROM g", "63|1|30"),
         ("SELECT AVG(v) FROM g WHERE k = 'b'", "20"),
-        ("SELECT k, COUNT(*) FROM g GROUP BY k ORDER BY k", "a|2\nb|3\nc|1"),
-        ("SELECT k, SUM(v) FROM g GROUP BY k HAVING COUNT(*) >= 2 ORDER BY k", "a|3\nb|60"),
+        (
+            "SELECT k, COUNT(*) FROM g GROUP BY k ORDER BY k",
+            "a|2\nb|3\nc|1",
+        ),
+        (
+            "SELECT k, SUM(v) FROM g GROUP BY k HAVING COUNT(*) >= 2 ORDER BY k",
+            "a|3\nb|60",
+        ),
         ("SELECT k FROM g GROUP BY k HAVING SUM(v) > 50", "b"),
         ("SELECT COUNT(*) FROM g WHERE v > 100", "0"),
         ("SELECT SUM(v) FROM g WHERE v > 100", "NULL"),
@@ -114,7 +143,10 @@ fn aggregates_and_groups() {
 #[test]
 fn updates_deletes_and_transactions() {
     run_script(&[
-        ("CREATE TABLE u (id INTEGER PRIMARY KEY, n INTEGER DEFAULT 0)", "ok"),
+        (
+            "CREATE TABLE u (id INTEGER PRIMARY KEY, n INTEGER DEFAULT 0)",
+            "ok",
+        ),
         ("INSERT INTO u (id) VALUES (1), (2), (3)", "#3"),
         ("UPDATE u SET n = id * 100", "#3"),
         ("SELECT n FROM u ORDER BY id", "100\n200\n300"),
@@ -143,7 +175,10 @@ fn null_three_valued_logic() {
         ("SELECT COUNT(*) FROM z WHERE v = NULL", "0"),
         ("SELECT COUNT(*) FROM z WHERE v != 0", "1"),
         ("SELECT COUNT(*) FROM z WHERE v = 0 OR v = 1", "2"),
-        ("SELECT COALESCE(v, -1) FROM z ORDER BY COALESCE(v, -1)", "-1\n0\n1"),
+        (
+            "SELECT COALESCE(v, -1) FROM z ORDER BY COALESCE(v, -1)",
+            "-1\n0\n1",
+        ),
         ("SELECT COUNT(*) FROM z WHERE v IS NULL OR v = 0", "2"),
         ("SELECT 1 + NULL", "NULL"),
         ("SELECT NULL || 'x'", "NULL"),

@@ -148,8 +148,9 @@ mod tests {
     #[test]
     fn type_mapping_covers_all() {
         use TokenType::*;
-        for ty in [Literal, Time, Ipv4, Ipv6, Mac, Integer, Float, Url, Hex, Path, Email, Hostname]
-        {
+        for ty in [
+            Literal, Time, Ipv4, Ipv6, Mac, Integer, Float, Url, Hex, Path, Email, Hostname,
+        ] {
             assert!(!grok_type(ty).is_empty());
         }
     }

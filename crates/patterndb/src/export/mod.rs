@@ -59,7 +59,11 @@ pub struct ExportSelection {
 
 impl Default for ExportSelection {
     fn default() -> Self {
-        ExportSelection { min_count: 1, max_complexity: 1.0, promoted_only: false }
+        ExportSelection {
+            min_count: 1,
+            max_complexity: 1.0,
+            promoted_only: false,
+        }
     }
 }
 
@@ -136,23 +140,38 @@ mod tests {
         let mut store = store_with_patterns();
         let (all, _) = select(&mut store, ExportSelection::default()).unwrap();
         assert_eq!(all.len(), 1);
-        let (none, _) =
-            select(&mut store, ExportSelection { min_count: 100, ..Default::default() }).unwrap();
+        let (none, _) = select(
+            &mut store,
+            ExportSelection {
+                min_count: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(none.is_empty());
     }
 
     #[test]
     fn selection_filters_by_complexity() {
         let mut store = store_with_patterns();
-        let (none, _) =
-            select(&mut store, ExportSelection { max_complexity: 0.01, ..Default::default() }).unwrap();
+        let (none, _) = select(
+            &mut store,
+            ExportSelection {
+                max_complexity: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(none.is_empty());
     }
 
     #[test]
     fn promoted_only_selection() {
         let mut store = store_with_patterns();
-        let sel = ExportSelection { promoted_only: true, ..Default::default() };
+        let sel = ExportSelection {
+            promoted_only: true,
+            ..Default::default()
+        };
         let (none, _) = select(&mut store, sel).unwrap();
         assert!(none.is_empty(), "nothing promoted yet");
         let id = store.patterns(None).unwrap()[0].id.clone();
@@ -165,14 +184,21 @@ mod tests {
     fn format_flags() {
         assert_eq!(ExportFormat::from_flag("XML"), Some(ExportFormat::SyslogNg));
         assert_eq!(ExportFormat::from_flag("yaml"), Some(ExportFormat::Yaml));
-        assert_eq!(ExportFormat::from_flag("logstash"), Some(ExportFormat::Grok));
+        assert_eq!(
+            ExportFormat::from_flag("logstash"),
+            Some(ExportFormat::Grok)
+        );
         assert_eq!(ExportFormat::from_flag("csv"), None);
     }
 
     #[test]
     fn all_formats_render_nonempty() {
         let mut store = store_with_patterns();
-        for fmt in [ExportFormat::SyslogNg, ExportFormat::Yaml, ExportFormat::Grok] {
+        for fmt in [
+            ExportFormat::SyslogNg,
+            ExportFormat::Yaml,
+            ExportFormat::Grok,
+        ] {
             let out = export_patterns(&mut store, fmt, ExportSelection::default()).unwrap();
             assert!(!out.is_empty());
         }

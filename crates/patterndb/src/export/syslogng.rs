@@ -93,8 +93,12 @@ pub fn pattern_to_syslogng(p: &sequence_core::Pattern) -> String {
                 TokenType::Ipv6 => out.push_str(&format!("@IPv6:{name}@")),
                 TokenType::Mac => out.push_str(&format!("@MACADDR:{name}@")),
                 TokenType::Email => out.push_str(&format!("@EMAIL:{name}@")),
-                TokenType::Hex | TokenType::Url | TokenType::Path | TokenType::Time
-                | TokenType::Hostname | TokenType::Literal => {
+                TokenType::Hex
+                | TokenType::Url
+                | TokenType::Path
+                | TokenType::Time
+                | TokenType::Hostname
+                | TokenType::Literal => {
                     // Free-text-ish field: ESTRING up to the next delimiter.
                     match next_delimiter(els, i) {
                         Some(d) => {
@@ -192,7 +196,10 @@ mod tests {
     #[test]
     fn trailing_string_is_anystring() {
         let p = Pattern::parse("session closed for %user%").unwrap();
-        assert_eq!(pattern_to_syslogng(&p), "session closed for @ANYSTRING:user@");
+        assert_eq!(
+            pattern_to_syslogng(&p),
+            "session closed for @ANYSTRING:user@"
+        );
     }
 
     #[test]
@@ -218,7 +225,11 @@ mod tests {
     #[test]
     fn full_document_structure() {
         let doc = render(&[
-            entry("sshd", "%action% from %srcip:ipv4% port %srcport:integer%", &["x from 1.2.3.4 port 5"]),
+            entry(
+                "sshd",
+                "%action% from %srcip:ipv4% port %srcport:integer%",
+                &["x from 1.2.3.4 port 5"],
+            ),
             entry("nginx", "GET %path% done", &[]),
         ]);
         assert!(doc.starts_with("<?xml"));
@@ -232,7 +243,11 @@ mod tests {
     #[test]
     fn xml_escaping() {
         assert_eq!(xml_escape("a<b>&'\"c"), "a&lt;b&gt;&amp;&apos;&quot;c");
-        let doc = render(&[entry("svc", "found %n:integer% <errors>", &["found 2 <errors>"])]);
+        let doc = render(&[entry(
+            "svc",
+            "found %n:integer% <errors>",
+            &["found 2 <errors>"],
+        )]);
         assert!(doc.contains("&lt;errors&gt;"));
         assert!(!doc.contains("<errors>"));
     }

@@ -15,7 +15,10 @@ pub fn render(entries: &[ExportEntry]) -> String {
     for e in entries {
         out.push_str(&format!("- id: {}\n", e.stored.id));
         out.push_str(&format!("  service: {}\n", yaml_string(&e.stored.service)));
-        out.push_str(&format!("  pattern: {}\n", yaml_string(&e.stored.pattern_text)));
+        out.push_str(&format!(
+            "  pattern: {}\n",
+            yaml_string(&e.stored.pattern_text)
+        ));
         out.push_str(&format!("  count: {}\n", e.stored.count));
         out.push_str(&format!("  first_seen: {}\n", e.stored.first_seen));
         out.push_str(&format!("  last_matched: {}\n", e.stored.last_matched));
@@ -71,7 +74,10 @@ mod tests {
                 first_seen: 100,
                 last_matched: 200,
                 complexity: 0.6,
-                examples: vec!["Accepted from 1.2.3.4 port 22".into(), "line1\nline2".into()],
+                examples: vec![
+                    "Accepted from 1.2.3.4 port 22".into(),
+                    "line1\nline2".into(),
+                ],
                 promoted: false,
             },
             pattern: p,

@@ -77,8 +77,10 @@ pub struct StoredPattern {
 impl StoredPattern {
     /// Parse the stored pattern text back into a [`Pattern`].
     pub fn pattern(&self) -> Result<Pattern, StoreError> {
-        Pattern::parse(&self.pattern_text)
-            .map_err(|err| StoreError::BadPattern { id: self.id.clone(), err })
+        Pattern::parse(&self.pattern_text).map_err(|err| StoreError::BadPattern {
+            id: self.id.clone(),
+            err,
+        })
     }
 }
 
@@ -192,7 +194,11 @@ impl PatternStore {
         } else {
             self.db.execute_with(
                 "UPDATE patterns SET cnt = cnt + ?, last_matched = ? WHERE id = ?",
-                &[(discovered.match_count as i64).into(), (now as i64).into(), id.as_str().into()],
+                &[
+                    (discovered.match_count as i64).into(),
+                    (now as i64).into(),
+                    id.as_str().into(),
+                ],
             )?;
             Ok((id, false))
         }
@@ -204,9 +210,7 @@ impl PatternStore {
             "SELECT body FROM examples WHERE pattern_id = ? ORDER BY seq",
             &[id.into()],
         )?;
-        if existing.len() >= 3
-            || existing.iter().any(|r| r[0].as_text() == Some(body))
-        {
+        if existing.len() >= 3 || existing.iter().any(|r| r[0].as_text() == Some(body)) {
             return Ok(());
         }
         self.db.execute_with(
@@ -277,7 +281,10 @@ impl PatternStore {
         let mut errors = Vec::new();
         for sp in self.patterns(None)? {
             match sp.pattern() {
-                Ok(p) => sets.entry(sp.service.clone()).or_default().insert(sp.id.clone(), p),
+                Ok(p) => sets
+                    .entry(sp.service.clone())
+                    .or_default()
+                    .insert(sp.id.clone(), p),
                 Err(e) => errors.push(e),
             }
         }
@@ -286,15 +293,20 @@ impl PatternStore {
 
     /// Flag a pattern as promoted to production.
     pub fn promote(&mut self, id: &str) -> Result<(), StoreError> {
-        self.db.execute_with("UPDATE patterns SET promoted = 1 WHERE id = ?", &[id.into()])?;
+        self.db.execute_with(
+            "UPDATE patterns SET promoted = 1 WHERE id = ?",
+            &[id.into()],
+        )?;
         Ok(())
     }
 
     /// Discard a pattern outright (the losing side of a multi-match
     /// conflict, or an administrator rejection), removing its examples too.
     pub fn discard(&mut self, id: &str) -> Result<(), StoreError> {
-        self.db.execute_with("DELETE FROM examples WHERE pattern_id = ?", &[id.into()])?;
-        self.db.execute_with("DELETE FROM patterns WHERE id = ?", &[id.into()])?;
+        self.db
+            .execute_with("DELETE FROM examples WHERE pattern_id = ?", &[id.into()])?;
+        self.db
+            .execute_with("DELETE FROM patterns WHERE id = ?", &[id.into()])?;
         Ok(())
     }
 
@@ -307,14 +319,15 @@ impl PatternStore {
             &[(threshold as i64).into()],
         )?;
         for r in &weak {
-            self.db.execute_with(
-                "DELETE FROM examples WHERE pattern_id = ?",
-                &[r[0].clone()],
-            )?;
+            self.db
+                .execute_with("DELETE FROM examples WHERE pattern_id = ?", &[r[0].clone()])?;
         }
         let n = self
             .db
-            .execute_with("DELETE FROM patterns WHERE cnt < ?", &[(threshold as i64).into()])?
+            .execute_with(
+                "DELETE FROM patterns WHERE cnt < ?",
+                &[(threshold as i64).into()],
+            )?
             .affected();
         Ok(n)
     }
@@ -419,7 +432,9 @@ mod tests {
     #[test]
     fn record_matches_updates_stats() {
         let mut store = PatternStore::in_memory();
-        let (id, _) = store.upsert_discovered("sshd", &sshd_patterns()[0], 100).unwrap();
+        let (id, _) = store
+            .upsert_discovered("sshd", &sshd_patterns()[0], 100)
+            .unwrap();
         store.record_matches(&id, 50, 999).unwrap();
         let p = &store.patterns(None).unwrap()[0];
         assert_eq!(p.count, 53);
@@ -429,7 +444,9 @@ mod tests {
     #[test]
     fn load_pattern_sets_matches_messages() {
         let mut store = PatternStore::in_memory();
-        store.upsert_discovered("sshd", &sshd_patterns()[0], 1).unwrap();
+        store
+            .upsert_discovered("sshd", &sshd_patterns()[0], 1)
+            .unwrap();
         let (sets, errors) = store.load_pattern_sets().unwrap();
         assert!(errors.is_empty());
         let set = &sets["sshd"];
@@ -440,8 +457,12 @@ mod tests {
     #[test]
     fn prune_below_threshold() {
         let mut store = PatternStore::in_memory();
-        store.upsert_discovered("svc", &discover(&["rare event only once"])[0], 1).unwrap();
-        store.upsert_discovered("sshd", &sshd_patterns()[0], 1).unwrap();
+        store
+            .upsert_discovered("svc", &discover(&["rare event only once"])[0], 1)
+            .unwrap();
+        store
+            .upsert_discovered("sshd", &sshd_patterns()[0], 1)
+            .unwrap();
         let removed = store.prune_below_threshold(2).unwrap();
         assert_eq!(removed, 1);
         assert_eq!(store.pattern_count().unwrap(), 1);
@@ -453,7 +474,9 @@ mod tests {
     #[test]
     fn service_summary_orders_by_pattern_count() {
         let mut store = PatternStore::in_memory();
-        store.upsert_discovered("sshd", &sshd_patterns()[0], 1).unwrap();
+        store
+            .upsert_discovered("sshd", &sshd_patterns()[0], 1)
+            .unwrap();
         for d in &discover(&["a b", "c d e", "f g h i"]) {
             store.upsert_discovered("noisy", d, 1).unwrap();
         }
@@ -469,7 +492,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let id = {
             let mut store = PatternStore::open(&dir).unwrap();
-            let (id, _) = store.upsert_discovered("sshd", &sshd_patterns()[0], 42).unwrap();
+            let (id, _) = store
+                .upsert_discovered("sshd", &sshd_patterns()[0], 42)
+                .unwrap();
             store.checkpoint().unwrap();
             id
         };

@@ -38,7 +38,11 @@ pub struct AnalyzerOptions {
 
 impl Default for AnalyzerOptions {
     fn default() -> Self {
-        AnalyzerOptions { quality_control: true, min_group_for_demotion: 3, detect_semantics: true }
+        AnalyzerOptions {
+            quality_control: true,
+            min_group_for_demotion: 3,
+            detect_semantics: true,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ impl AnalyzerOptions {
     /// Options reproducing the seminal Sequence analyser (no Sequence-RTG
     /// quality control).
     pub fn seminal_sequence() -> Self {
-        AnalyzerOptions { quality_control: false, ..Default::default() }
+        AnalyzerOptions {
+            quality_control: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -218,7 +225,10 @@ impl Analyzer {
         }
         // Multi-line messages: pattern covers the first line only; tell the
         // parser to ignore everything after it (limitation 6).
-        if terminal.iter().any(|&i| messages[i as usize].truncated_multiline) {
+        if terminal
+            .iter()
+            .any(|&i| messages[i as usize].truncated_multiline)
+        {
             elements.push(PatternElement::IgnoreRest);
         }
         if self.opts.detect_semantics {
@@ -347,7 +357,10 @@ mod tests {
     fn singleton_message_word_for_word() {
         let out = analyze(&["completely unique message text here"]);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].pattern.render(), "completely unique message text here");
+        assert_eq!(
+            out[0].pattern.render(),
+            "completely unique message text here"
+        );
         assert_eq!(out[0].pattern.variable_count(), 0);
     }
 
@@ -357,7 +370,10 @@ mod tests {
         // variables (paper: under-patternised singletons are a limitation,
         // mitigated by the save threshold, not by the analyser).
         let out = analyze(&["request took 35 ms"]);
-        assert_eq!(out[0].pattern.render(), "request took %duration:integer% ms");
+        assert_eq!(
+            out[0].pattern.render(),
+            "request took %duration:integer% ms"
+        );
     }
 
     #[test]
@@ -380,7 +396,11 @@ mod tests {
             "mail rejected for eve@mail.example.net spam",
         ]);
         assert_eq!(out.len(), 1);
-        assert!(out[0].pattern.render().contains(":email%"), "{}", out[0].pattern.render());
+        assert!(
+            out[0].pattern.render().contains(":email%"),
+            "{}",
+            out[0].pattern.render()
+        );
     }
 
     #[test]
@@ -390,7 +410,11 @@ mod tests {
             "query from ns1.example.com ok",
             "query from ns1.example.com ok",
         ]);
-        assert!(out[0].pattern.render().contains(":host%"), "{}", out[0].pattern.render());
+        assert!(
+            out[0].pattern.render().contains(":host%"),
+            "{}",
+            out[0].pattern.render()
+        );
     }
 
     #[test]
@@ -416,11 +440,7 @@ mod tests {
 
     #[test]
     fn member_indices_cover_all_messages() {
-        let out = analyze(&[
-            "a x 1",
-            "a y 2",
-            "b deep structure here",
-        ]);
+        let out = analyze(&["a x 1", "a y 2", "b deep structure here"]);
         let mut all: Vec<u32> = out.iter().flat_map(|d| d.member_indices.clone()).collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2]);

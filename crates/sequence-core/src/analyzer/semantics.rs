@@ -22,7 +22,10 @@ pub fn is_email(text: &str) -> bool {
     if local.is_empty() || domain.contains('@') {
         return false;
     }
-    if !local.bytes().all(|c| c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'-' | b'+')) {
+    if !local
+        .bytes()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'-' | b'+'))
+    {
         return false;
     }
     is_hostname(domain)
@@ -51,7 +54,10 @@ pub fn is_hostname(text: &str) -> bool {
         if label.is_empty() || label.len() > 63 {
             return false;
         }
-        if !label.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-') {
+        if !label
+            .bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'-')
+        {
             return false;
         }
         if label.starts_with('-') || label.ends_with('-') {
@@ -134,7 +140,11 @@ pub fn name_variables(elements: &mut [PatternElement]) {
                 name
             });
         let n = used.entry(base.clone()).or_insert(0);
-        let name = if *n == 0 { base.clone() } else { format!("{base}{n}") };
+        let name = if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}{n}")
+        };
         *n += 1;
         if let PatternElement::Variable { name: slot, .. } = &mut elements[i] {
             *slot = name;
@@ -199,10 +209,17 @@ mod tests {
     use super::*;
 
     fn lit(t: &str) -> PatternElement {
-        PatternElement::Literal { text: t.into(), space_before: true }
+        PatternElement::Literal {
+            text: t.into(),
+            space_before: true,
+        }
     }
     fn var(ty: TokenType) -> PatternElement {
-        PatternElement::Variable { name: String::new(), ty, space_before: true }
+        PatternElement::Variable {
+            name: String::new(),
+            ty,
+            space_before: true,
+        }
     }
     fn name_of(el: &PatternElement) -> &str {
         match el {
@@ -242,7 +259,12 @@ mod tests {
 
     #[test]
     fn keyword_naming_with_type_hint() {
-        let mut els = vec![lit("from"), var(TokenType::Ipv4), lit("port"), var(TokenType::Integer)];
+        let mut els = vec![
+            lit("from"),
+            var(TokenType::Ipv4),
+            lit("port"),
+            var(TokenType::Integer),
+        ];
         name_variables(&mut els);
         assert_eq!(name_of(&els[1]), "srcip");
         assert_eq!(name_of(&els[3]), "port");
@@ -250,7 +272,11 @@ mod tests {
 
     #[test]
     fn fallback_type_indexed_names() {
-        let mut els = vec![var(TokenType::Literal), var(TokenType::Literal), var(TokenType::Integer)];
+        let mut els = vec![
+            var(TokenType::Literal),
+            var(TokenType::Literal),
+            var(TokenType::Integer),
+        ];
         name_variables(&mut els);
         assert_eq!(name_of(&els[0]), "string0");
         assert_eq!(name_of(&els[1]), "string1");

@@ -101,7 +101,9 @@ const ROOT: usize = 0;
 impl AnalysisTrie {
     /// An empty trie.
     pub fn new() -> AnalysisTrie {
-        AnalysisTrie { nodes: vec![Node::new(NodeKey::Var(0), false)] }
+        AnalysisTrie {
+            nodes: vec![Node::new(NodeKey::Var(0), false)],
+        }
     }
 
     /// Total number of allocated trie nodes (used by memory accounting and
@@ -208,7 +210,11 @@ impl AnalysisTrie {
         // Move terminals, counts and observed values.
         let (terminal, observed, count) = {
             let o = &mut self.nodes[other];
-            (std::mem::take(&mut o.terminal), std::mem::take(&mut o.observed), o.count)
+            (
+                std::mem::take(&mut o.terminal),
+                std::mem::take(&mut o.observed),
+                o.count,
+            )
         };
         {
             let t = &mut self.nodes[target];
@@ -222,8 +228,7 @@ impl AnalysisTrie {
             }
         }
         // Union children.
-        let other_children: Vec<(NodeKey, usize)> =
-            self.nodes[other].children.drain().collect();
+        let other_children: Vec<(NodeKey, usize)> = self.nodes[other].children.drain().collect();
         for (key, child) in other_children {
             match self.nodes[target].children.get(&key) {
                 Some(&existing) => self.union_into(existing, child),
@@ -334,10 +339,7 @@ mod tests {
 
     #[test]
     fn literal_siblings_with_same_children_merge() {
-        let mut trie = build(&[
-            "Accepted password for root",
-            "Failed password for root",
-        ]);
+        let mut trie = build(&["Accepted password for root", "Failed password for root"]);
         trie.merge();
         assert_eq!(pattern_strings(&trie), vec!["<*> password for root"]);
     }

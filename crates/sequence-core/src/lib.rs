@@ -57,13 +57,13 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
-pub mod pattern;
 pub mod parser;
+pub mod pattern;
 pub mod scanner;
 pub mod token;
 
 pub use analyzer::{Analyzer, AnalyzerOptions, DiscoveredPattern};
-pub use pattern::{Captures, Pattern, PatternElement, PatternParseError};
 pub use parser::{ParseOutcome, PatternSet};
+pub use pattern::{Captures, Pattern, PatternElement, PatternParseError};
 pub use scanner::{Scanner, ScannerOptions};
 pub use token::{Token, TokenType, TokenizedMessage};

@@ -64,12 +64,18 @@ impl PatternSet {
     /// Insert a pattern under an id. Duplicate ids are allowed (the caller —
     /// normally the pattern database — is responsible for dedup).
     pub fn insert(&mut self, id: impl Into<String>, pattern: Pattern) {
-        let entry =
-            Entry { id: id.into(), literals: pattern.literal_count(), pattern };
+        let entry = Entry {
+            id: id.into(),
+            literals: pattern.literal_count(),
+            pattern,
+        };
         if entry.pattern.has_ignore_rest() {
             self.ignore_rest.push(entry);
         } else {
-            self.by_len.entry(entry.pattern.fixed_token_count()).or_default().push(entry);
+            self.by_len
+                .entry(entry.pattern.fixed_token_count())
+                .or_default()
+                .push(entry);
         }
         self.len += 1;
     }
@@ -83,12 +89,17 @@ impl PatternSet {
         if let Some(entries) = self.by_len.get(&n) {
             for e in entries {
                 if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
-                    let candidate =
-                        (e.literals, true, ParseOutcome { pattern_id: e.id.clone(), captures });
-                    if best
-                        .as_ref()
-                        .map_or(true, |(l, exact, _)| (candidate.0, candidate.1) > (*l, *exact))
-                    {
+                    let candidate = (
+                        e.literals,
+                        true,
+                        ParseOutcome {
+                            pattern_id: e.id.clone(),
+                            captures,
+                        },
+                    );
+                    if best.as_ref().map_or(true, |(l, exact, _)| {
+                        (candidate.0, candidate.1) > (*l, *exact)
+                    }) {
                         best = Some(candidate);
                     }
                 }
@@ -99,12 +110,17 @@ impl PatternSet {
                 continue;
             }
             if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
-                let candidate =
-                    (e.literals, false, ParseOutcome { pattern_id: e.id.clone(), captures });
-                if best
-                    .as_ref()
-                    .map_or(true, |(l, exact, _)| (candidate.0, candidate.1) > (*l, *exact))
-                {
+                let candidate = (
+                    e.literals,
+                    false,
+                    ParseOutcome {
+                        pattern_id: e.id.clone(),
+                        captures,
+                    },
+                );
+                if best.as_ref().map_or(true, |(l, exact, _)| {
+                    (candidate.0, candidate.1) > (*l, *exact)
+                }) {
                     best = Some(candidate);
                 }
             }
@@ -122,18 +138,33 @@ impl PatternSet {
         if let Some(entries) = self.by_len.get(&n) {
             for e in entries {
                 if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
-                    hits.push((e.literals, ParseOutcome { pattern_id: e.id.clone(), captures }));
+                    hits.push((
+                        e.literals,
+                        ParseOutcome {
+                            pattern_id: e.id.clone(),
+                            captures,
+                        },
+                    ));
                 }
             }
         }
         for e in &self.ignore_rest {
             if e.pattern.fixed_token_count() <= n {
                 if let Some(captures) = e.pattern.match_tokens(&msg.tokens) {
-                    hits.push((e.literals, ParseOutcome { pattern_id: e.id.clone(), captures }));
+                    hits.push((
+                        e.literals,
+                        ParseOutcome {
+                            pattern_id: e.id.clone(),
+                            captures,
+                        },
+                    ));
                 }
             }
         }
-        hits.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.pattern_id.cmp(&b.1.pattern_id)));
+        hits.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then_with(|| a.1.pattern_id.cmp(&b.1.pattern_id))
+        });
         hits.into_iter().map(|(_, o)| o).collect()
     }
 
@@ -174,7 +205,9 @@ mod tests {
     #[test]
     fn basic_match_with_captures() {
         let s = set(&[("p1", "%action% from %srcip:ipv4% port %srcport:integer%")]);
-        let out = s.match_message(&scan("accepted from 10.0.0.1 port 22")).unwrap();
+        let out = s
+            .match_message(&scan("accepted from 10.0.0.1 port 22"))
+            .unwrap();
         assert_eq!(out.pattern_id, "p1");
         assert_eq!(out.captures.get("srcip"), Some("10.0.0.1"));
     }
@@ -199,7 +232,10 @@ mod tests {
 
     #[test]
     fn exact_length_beats_ignore_rest_at_equal_specificity() {
-        let s = set(&[("ir", "session %b% closed %...%"), ("exact", "session %b% closed")]);
+        let s = set(&[
+            ("ir", "session %b% closed %...%"),
+            ("exact", "session %b% closed"),
+        ]);
         let out = s.match_message(&scan("session xyz closed")).unwrap();
         assert_eq!(out.pattern_id, "exact");
     }
@@ -207,7 +243,9 @@ mod tests {
     #[test]
     fn ignore_rest_matches_longer_messages() {
         let s = set(&[("ir", "panic : %...%")]);
-        assert!(s.match_message(&scan("panic: something terrible happened here")).is_some());
+        assert!(s
+            .match_message(&scan("panic: something terrible happened here"))
+            .is_some());
         assert!(s.match_message(&scan("panic:")).is_some());
         assert!(s.match_message(&scan("panic")).is_none());
     }

@@ -76,7 +76,10 @@ pub struct Captures {
 impl Captures {
     /// Look up the first capture with the given name.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -134,7 +137,10 @@ impl Pattern {
     /// Number of message tokens the pattern consumes before an optional
     /// ignore-rest marker.
     pub fn fixed_token_count(&self) -> usize {
-        self.elements.iter().filter(|e| !matches!(e, PatternElement::IgnoreRest)).count()
+        self.elements
+            .iter()
+            .filter(|e| !matches!(e, PatternElement::IgnoreRest))
+            .count()
     }
 
     /// Whether the pattern ends with an ignore-rest marker.
@@ -242,7 +248,10 @@ impl Pattern {
                     if name.is_empty() {
                         return Err(PatternParseError::EmptyName);
                     }
-                    if !name.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-') {
+                    if !name
+                        .bytes()
+                        .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                    {
                         return Err(PatternParseError::UnknownTag(inner.to_string()));
                     }
                     elements.push(PatternElement::Variable {
@@ -263,8 +272,15 @@ impl Pattern {
             let run = &s[start..i];
             let scanned = scanner.scan(run);
             for (k, tok) in scanned.tokens.iter().enumerate() {
-                let sp = if k == 0 { pending_space || tok.is_space_before } else { tok.is_space_before };
-                elements.push(PatternElement::Literal { text: tok.text.clone(), space_before: sp });
+                let sp = if k == 0 {
+                    pending_space || tok.is_space_before
+                } else {
+                    tok.is_space_before
+                };
+                elements.push(PatternElement::Literal {
+                    text: tok.text.clone(),
+                    space_before: sp,
+                });
             }
             pending_space = run.ends_with(' ');
         }
@@ -384,10 +400,17 @@ mod tests {
     use crate::scanner::Scanner;
 
     fn lit(text: &str, sp: bool) -> PatternElement {
-        PatternElement::Literal { text: text.into(), space_before: sp }
+        PatternElement::Literal {
+            text: text.into(),
+            space_before: sp,
+        }
     }
     fn var(name: &str, ty: TokenType, sp: bool) -> PatternElement {
-        PatternElement::Variable { name: name.into(), ty, space_before: sp }
+        PatternElement::Variable {
+            name: name.into(),
+            ty,
+            space_before: sp,
+        }
     }
 
     fn sample() -> Pattern {
@@ -403,7 +426,10 @@ mod tests {
 
     #[test]
     fn render_matches_paper_example() {
-        assert_eq!(sample().render(), "%action% from %srcip:ipv4% port %srcport:integer%");
+        assert_eq!(
+            sample().render(),
+            "%action% from %srcip:ipv4% port %srcport:integer%"
+        );
     }
 
     #[test]
@@ -423,7 +449,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_unterminated() {
-        assert_eq!(Pattern::parse("50% done").unwrap_err(), PatternParseError::UnterminatedTag);
+        assert_eq!(
+            Pattern::parse("50% done").unwrap_err(),
+            PatternParseError::UnterminatedTag
+        );
     }
 
     #[test]
@@ -482,9 +511,11 @@ mod tests {
     #[test]
     fn complexity_score() {
         assert!((sample().complexity_score() - 0.6).abs() < 1e-9);
-        let all_vars =
-            Pattern::new(vec![var("a", TokenType::Literal, false), var("b", TokenType::Integer, true)])
-                .unwrap();
+        let all_vars = Pattern::new(vec![
+            var("a", TokenType::Literal, false),
+            var("b", TokenType::Integer, true),
+        ])
+        .unwrap();
         assert_eq!(all_vars.complexity_score(), 1.0);
         let all_lit = Pattern::new(vec![lit("x", false)]).unwrap();
         assert_eq!(all_lit.complexity_score(), 0.0);

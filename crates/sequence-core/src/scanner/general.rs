@@ -19,7 +19,20 @@ use crate::token::TokenType;
 pub fn is_break_char(c: char) -> bool {
     matches!(
         c,
-        ',' | ';' | ':' | '(' | ')' | '[' | ']' | '{' | '}' | '<' | '>' | '"' | '\'' | '=' | '|'
+        ',' | ';'
+            | ':'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '<'
+            | '>'
+            | '"'
+            | '\''
+            | '='
+            | '|'
             | '`'
     )
 }

@@ -180,7 +180,10 @@ mod tests {
     fn ipv6_compressed() {
         assert_eq!(match_at("fe80::1 dev"), Some((7, TokenType::Ipv6)));
         assert_eq!(match_at("::1"), Some((3, TokenType::Ipv6)));
-        assert_eq!(match_at("2001:db8::8a2e:370:7334"), Some((23, TokenType::Ipv6)));
+        assert_eq!(
+            match_at("2001:db8::8a2e:370:7334"),
+            Some((23, TokenType::Ipv6))
+        );
     }
 
     #[test]
@@ -198,10 +201,7 @@ mod tests {
 
     #[test]
     fn bare_hex_run() {
-        assert_eq!(
-            match_at("2908692bdd6cb4ec"),
-            Some((16, TokenType::Hex))
-        );
+        assert_eq!(match_at("2908692bdd6cb4ec"), Some((16, TokenType::Hex)));
     }
 
     #[test]
@@ -223,6 +223,9 @@ mod tests {
     fn eight_groups_is_ipv6_not_mac() {
         // Eight 2-digit groups: not a MAC (six groups exactly), but a valid
         // full IPv6 address.
-        assert_eq!(match_at("00:1a:2b:3c:4d:5e:6f:70"), Some((23, TokenType::Ipv6)));
+        assert_eq!(
+            match_at("00:1a:2b:3c:4d:5e:6f:70"),
+            Some((23, TokenType::Ipv6))
+        );
     }
 }

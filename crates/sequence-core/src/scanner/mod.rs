@@ -40,14 +40,20 @@ pub struct ScannerOptions {
 
 impl Default for ScannerOptions {
     fn default() -> Self {
-        ScannerOptions { detect_paths: false, allow_single_digit_time: false }
+        ScannerOptions {
+            detect_paths: false,
+            allow_single_digit_time: false,
+        }
     }
 }
 
 impl ScannerOptions {
     /// Options with every future-work extension enabled.
     pub fn extended() -> Self {
-        ScannerOptions { detect_paths: true, allow_single_digit_time: true }
+        ScannerOptions {
+            detect_paths: true,
+            allow_single_digit_time: true,
+        }
     }
 }
 
@@ -82,7 +88,11 @@ impl Scanner {
         };
         let line = line.strip_suffix('\r').unwrap_or(line);
         let tokens = self.scan_line(line);
-        TokenizedMessage { raw: raw.to_string(), tokens, truncated_multiline: truncated }
+        TokenizedMessage {
+            raw: raw.to_string(),
+            tokens,
+            truncated_multiline: truncated,
+        }
     }
 
     fn scan_line(&self, line: &str) -> Vec<Token> {
@@ -146,7 +156,8 @@ impl Scanner {
             // Split trailing sentence dots off the word ("done." → "done",
             // ".") unless the word is nothing but dots.
             let mut trailing_dots = 0usize;
-            while word.len() > trailing_dots + 1 && word.as_bytes()[word.len() - 1 - trailing_dots] == b'.'
+            while word.len() > trailing_dots + 1
+                && word.as_bytes()[word.len() - 1 - trailing_dots] == b'.'
             {
                 trailing_dots += 1;
             }
@@ -189,7 +200,10 @@ mod tests {
     #[test]
     fn simple_words() {
         assert_eq!(texts("connection closed"), vec!["connection", "closed"]);
-        assert_eq!(types("connection closed"), vec![TokenType::Literal, TokenType::Literal]);
+        assert_eq!(
+            types("connection closed"),
+            vec![TokenType::Literal, TokenType::Literal]
+        );
     }
 
     #[test]
@@ -215,7 +229,10 @@ mod tests {
     #[test]
     fn space_before_tracking() {
         let toks = scan("pid=123 uid=0");
-        let texts: Vec<_> = toks.iter().map(|t| (t.text.as_str(), t.is_space_before)).collect();
+        let texts: Vec<_> = toks
+            .iter()
+            .map(|t| (t.text.as_str(), t.is_space_before))
+            .collect();
         assert_eq!(
             texts,
             vec![
@@ -259,7 +276,10 @@ mod tests {
 
     #[test]
     fn punctuation_singles() {
-        assert_eq!(texts("[x] (y) k=v"), vec!["[", "x", "]", "(", "y", ")", "k", "=", "v"]);
+        assert_eq!(
+            texts("[x] (y) k=v"),
+            vec!["[", "x", "]", "(", "y", ")", "k", "=", "v"]
+        );
     }
 
     #[test]
@@ -299,17 +319,32 @@ mod tests {
 
     #[test]
     fn paths_literal_by_default_typed_when_enabled() {
-        assert_eq!(types("open /var/log/messages"), vec![TokenType::Literal, TokenType::Literal]);
-        let s = Scanner::with_options(ScannerOptions { detect_paths: true, ..Default::default() });
-        assert_eq!(s.scan("open /var/log/messages").tokens[1].ty, TokenType::Path);
+        assert_eq!(
+            types("open /var/log/messages"),
+            vec![TokenType::Literal, TokenType::Literal]
+        );
+        let s = Scanner::with_options(ScannerOptions {
+            detect_paths: true,
+            ..Default::default()
+        });
+        assert_eq!(
+            s.scan("open /var/log/messages").tokens[1].ty,
+            TokenType::Path
+        );
     }
 
     #[test]
     fn proxifier_like_alnum_flip() {
         // `64` scans as Integer but `64*` as Literal — the type flip behind
         // the paper's Proxifier accuracy drop.
-        assert_eq!(types("sent 64"), vec![TokenType::Literal, TokenType::Integer]);
-        assert_eq!(types("sent 64*"), vec![TokenType::Literal, TokenType::Literal]);
+        assert_eq!(
+            types("sent 64"),
+            vec![TokenType::Literal, TokenType::Integer]
+        );
+        assert_eq!(
+            types("sent 64*"),
+            vec![TokenType::Literal, TokenType::Literal]
+        );
     }
 
     #[test]
@@ -327,16 +362,22 @@ mod tests {
     fn preprocessed_wildcard_marker() {
         // LogHub pre-processed data masks fields as `<*>`; it scans to three
         // punctuation/literal tokens that are identical across messages.
-        assert_eq!(texts("blk <*> served"), vec!["blk", "<", "*", ">", "served"]);
+        assert_eq!(
+            texts("blk <*> served"),
+            vec!["blk", "<", "*", ">", "served"]
+        );
     }
 
     #[test]
     fn negative_and_signed_numbers() {
-        assert_eq!(types("delta -5 +7 -0.5"), vec![
-            TokenType::Literal,
-            TokenType::Integer,
-            TokenType::Integer,
-            TokenType::Float,
-        ]);
+        assert_eq!(
+            types("delta -5 +7 -0.5"),
+            vec![
+                TokenType::Literal,
+                TokenType::Integer,
+                TokenType::Integer,
+                TokenType::Float,
+            ]
+        );
     }
 }

@@ -62,43 +62,136 @@ use Part::*;
 const FORMATS: &[&[Part]] = &[
     // 2021-09-08T12:34:56.789+02:00 / 2021-09-08 12:34:56
     &[
-        Year4, Sep('-'), Month2, Sep('-'), Day2, DateTimeSep, Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptFraction, OptTimeZone,
+        Year4,
+        Sep('-'),
+        Month2,
+        Sep('-'),
+        Day2,
+        DateTimeSep,
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
+        OptTimeZone,
     ],
     // 2021/09/08 12:34:56
     &[
-        Year4, Sep('/'), Month2, Sep('/'), Day2, DateTimeSep, Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptFraction, OptTimeZone,
+        Year4,
+        Sep('/'),
+        Month2,
+        Sep('/'),
+        Day2,
+        DateTimeSep,
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
+        OptTimeZone,
     ],
     // 09/08/2021 12:34:56 (also 8/9/2021 via DayPadded-ish month handled below)
     &[
-        Month2, Sep('/'), Day2, Sep('/'), Year4, DateTimeSep, Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptFraction, OptAmPm,
+        Month2,
+        Sep('/'),
+        Day2,
+        Sep('/'),
+        Year4,
+        DateTimeSep,
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
+        OptAmPm,
     ],
     // 08/Sep/2021:12:34:56 +0200 (Apache common log format)
     &[
-        Day2, Sep('/'), MonthName, Sep('/'), Year4, Sep(':'), Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptTimeZone,
+        Day2,
+        Sep('/'),
+        MonthName,
+        Sep('/'),
+        Year4,
+        Sep(':'),
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptTimeZone,
     ],
     // Sep  8 12:34:56 / Sep 08 12:34:56 (classic syslog)
-    &[MonthName, Sep(' '), DayPadded, Sep(' '), Hour, Sep(':'), MinSec, Sep(':'), MinSec, OptFraction],
+    &[
+        MonthName,
+        Sep(' '),
+        DayPadded,
+        Sep(' '),
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
+    ],
     // Sep 8 2021 12:34:56
     &[
-        MonthName, Sep(' '), DayPadded, Sep(' '), Year4, Sep(' '), Hour, Sep(':'), MinSec,
-        Sep(':'), MinSec, OptFraction,
+        MonthName,
+        Sep(' '),
+        DayPadded,
+        Sep(' '),
+        Year4,
+        Sep(' '),
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
     ],
     // 20171224-00:07:20:444 (HealthApp)
-    &[CompactDate, Sep('-'), Hour, Sep(':'), MinSec, Sep(':'), MinSec, OptColonMillis],
+    &[
+        CompactDate,
+        Sep('-'),
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptColonMillis,
+    ],
     // 17/06/09 20:10:40 (Spark-style two-digit year; only accepted with the
     // time attached, to avoid matching fraction-like text)
     &[
-        Year2, Sep('/'), Month2, Sep('/'), Day2, Sep(' '), Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptFraction,
+        Year2,
+        Sep('/'),
+        Month2,
+        Sep('/'),
+        Day2,
+        Sep(' '),
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
     ],
     // 2005.06.03 12:34:56 (BGL-style dotted date)
     &[
-        Year4, Sep('.'), Month2, Sep('.'), Day2, DateTimeSep, Hour, Sep(':'), MinSec, Sep(':'),
-        MinSec, OptFraction,
+        Year4,
+        Sep('.'),
+        Month2,
+        Sep('.'),
+        Day2,
+        DateTimeSep,
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
     ],
     // 2021-09-08 (date only)
     &[Year4, Sep('-'), Month2, Sep('-'), Day2],
@@ -106,13 +199,41 @@ const FORMATS: &[&[Part]] = &[
     &[Year4, Sep('.'), Month2, Sep('.'), Day2],
     // 12:34:56.789 / 12:34:56,789 / 12:34:56 (time only; requires three parts
     // to avoid matching arbitrary `a:b` literals)
-    &[Hour, Sep(':'), MinSec, Sep(':'), MinSec, OptFraction, OptAmPm],
+    &[
+        Hour,
+        Sep(':'),
+        MinSec,
+        Sep(':'),
+        MinSec,
+        OptFraction,
+        OptAmPm,
+    ],
 ];
 
 const MONTH_NAMES: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December", "Jan", "Feb", "Mar", "Apr", "Jun", "Jul", "Aug", "Sep",
-    "Oct", "Nov", "Dec",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+    "Jan",
+    "Feb",
+    "Mar",
+    "Apr",
+    "Jun",
+    "Jul",
+    "Aug",
+    "Sep",
+    "Oct",
+    "Nov",
+    "Dec",
 ];
 
 /// Attempt to match a date-time stamp at the start of `s`.
@@ -265,7 +386,9 @@ fn match_format(b: &[u8], fmt: &[Part], allow_single: bool) -> Option<usize> {
                 let year: u32 = parse_num(b, i, 4);
                 let month: u32 = parse_num(b, i + 4, 2);
                 let day: u32 = parse_num(b, i + 6, 2);
-                if !(1900..=2099).contains(&year) || !(1..=12).contains(&month) || !(1..=31).contains(&day)
+                if !(1900..=2099).contains(&year)
+                    || !(1..=12).contains(&month)
+                    || !(1..=31).contains(&day)
                 {
                     return None;
                 }
@@ -290,7 +413,8 @@ fn match_timezone(b: &[u8]) -> usize {
     for marker in [b" UTC".as_slice(), b" GMT"] {
         if b.len() >= marker.len()
             && b[..marker.len()] == *marker
-            && b.get(marker.len()).map_or(true, |&c| !c.is_ascii_alphanumeric())
+            && b.get(marker.len())
+                .map_or(true, |&c| !c.is_ascii_alphanumeric())
         {
             return marker.len();
         }

@@ -120,12 +120,20 @@ pub struct Token {
 impl Token {
     /// Create a literal token.
     pub fn literal(text: impl Into<String>, is_space_before: bool) -> Token {
-        Token { text: text.into(), ty: TokenType::Literal, is_space_before }
+        Token {
+            text: text.into(),
+            ty: TokenType::Literal,
+            is_space_before,
+        }
     }
 
     /// Create a token of an arbitrary type.
     pub fn new(text: impl Into<String>, ty: TokenType, is_space_before: bool) -> Token {
-        Token { text: text.into(), ty, is_space_before }
+        Token {
+            text: text.into(),
+            ty,
+            is_space_before,
+        }
     }
 }
 
@@ -186,7 +194,10 @@ mod tests {
             TokenType::Hostname,
         ];
         for ty in all {
-            assert_eq!(TokenType::from_placeholder_name(ty.placeholder_name()), Some(ty));
+            assert_eq!(
+                TokenType::from_placeholder_name(ty.placeholder_name()),
+                Some(ty)
+            );
         }
         assert_eq!(TokenType::from_placeholder_name("nonsense"), None);
     }

@@ -32,13 +32,21 @@ fn cidr_prefix() {
     // 10.0.0.0/8: the word contains a slash, so it is one literal (or a
     // path when the path FSM is on) — never a bogus IPv4.
     let toks = scan_types("route add 10.0.0.0/8 dev eth0");
-    assert!(toks.iter().any(|(t, ty)| t == "10.0.0.0/8" && *ty == TokenType::Literal));
+    assert!(toks
+        .iter()
+        .any(|(t, ty)| t == "10.0.0.0/8" && *ty == TokenType::Literal));
 }
 
 #[test]
 fn version_strings_stay_literal() {
-    assert_eq!(type_of("openssl 1.1.1k loaded", "1.1.1k"), TokenType::Literal);
-    assert_eq!(type_of("kernel 5.15.0-56-generic booted", "5.15.0-56-generic"), TokenType::Literal);
+    assert_eq!(
+        type_of("openssl 1.1.1k loaded", "1.1.1k"),
+        TokenType::Literal
+    );
+    assert_eq!(
+        type_of("kernel 5.15.0-56-generic booted", "5.15.0-56-generic"),
+        TokenType::Literal
+    );
 }
 
 #[test]
@@ -58,7 +66,10 @@ fn kv_with_quoted_value() {
 
 #[test]
 fn uuid_is_not_an_integer() {
-    let t = type_of("req 550e8400-e29b-41d4-a716-446655440000 done", "550e8400-e29b-41d4-a716-446655440000");
+    let t = type_of(
+        "req 550e8400-e29b-41d4-a716-446655440000 done",
+        "550e8400-e29b-41d4-a716-446655440000",
+    );
     assert_ne!(t, TokenType::Integer);
 }
 
@@ -71,7 +82,9 @@ fn scientific_notation_float() {
 #[test]
 fn hex_string_inside_brackets() {
     let toks = scan_types("[req-8f6a2b1c9d3e4f50]");
-    assert!(toks.iter().any(|(_, ty)| *ty == TokenType::Hex || *ty == TokenType::Literal));
+    assert!(toks
+        .iter()
+        .any(|(_, ty)| *ty == TokenType::Hex || *ty == TokenType::Literal));
     // Reconstruction is exact either way.
     let msg = Scanner::new().scan("[req-8f6a2b1c9d3e4f50]");
     assert_eq!(msg.reconstruct(), "[req-8f6a2b1c9d3e4f50]");
@@ -126,7 +139,10 @@ fn empty_brackets_and_doubled_punctuation() {
 #[test]
 fn java_class_names() {
     assert_eq!(
-        type_of("at org.apache.hadoop.hdfs.DFSClient run", "org.apache.hadoop.hdfs.DFSClient"),
+        type_of(
+            "at org.apache.hadoop.hdfs.DFSClient run",
+            "org.apache.hadoop.hdfs.DFSClient"
+        ),
         TokenType::Literal
     );
 }
@@ -143,20 +159,28 @@ fn mixed_unicode_and_ascii() {
     let msg = "utilisateur déconnecté après 35 secondes";
     let t = Scanner::new().scan(msg);
     assert_eq!(t.reconstruct(), msg);
-    assert!(t.tokens.iter().any(|t| t.ty == TokenType::Integer && t.text == "35"));
+    assert!(t
+        .tokens
+        .iter()
+        .any(|t| t.ty == TokenType::Integer && t.text == "35"));
 }
 
 #[test]
 fn windows_paths_are_single_tokens() {
     let toks = scan_types(r"open C:\Windows\System32\drivers\etc\hosts failed");
-    assert!(toks.iter().any(|(t, _)| t == r"C:\Windows\System32\drivers\etc\hosts" || t == "C"));
+    assert!(toks
+        .iter()
+        .any(|(t, _)| t == r"C:\Windows\System32\drivers\etc\hosts" || t == "C"));
     let msg = Scanner::new().scan(r"open C:\Windows\System32 failed");
     assert_eq!(msg.reconstruct(), r"open C:\Windows\System32 failed");
 }
 
 #[test]
 fn path_fsm_types_unix_paths() {
-    let s = Scanner::with_options(ScannerOptions { detect_paths: true, ..Default::default() });
+    let s = Scanner::with_options(ScannerOptions {
+        detect_paths: true,
+        ..Default::default()
+    });
     let t = s.scan("read /var/log/messages and ./relative.sh and ~/conf");
     let paths: Vec<&str> = t
         .tokens

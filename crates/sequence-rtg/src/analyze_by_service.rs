@@ -120,7 +120,10 @@ impl SequenceRtg {
         batch: &[LogRecord],
         now: u64,
     ) -> Result<BatchReport, StoreError> {
-        let mut report = BatchReport { received: batch.len() as u64, ..Default::default() };
+        let mut report = BatchReport {
+            received: batch.len() as u64,
+            ..Default::default()
+        };
         // First partitioning: group records by service.
         let mut by_service: HashMap<&str, Vec<&LogRecord>> = HashMap::new();
         for r in batch {
@@ -144,14 +147,17 @@ impl SequenceRtg {
                     return Err(e);
                 }
             };
-            if let Err(e) = self.analyze_unmatched(service, &scanned, &unmatched, now, &mut report) {
+            if let Err(e) = self.analyze_unmatched(service, &scanned, &unmatched, now, &mut report)
+            {
                 self.store.rollback()?;
                 return Err(e);
             }
         }
         self.store.commit()?;
         if self.config.save_threshold > 0 {
-            let pruned = self.store.prune_below_threshold(self.config.save_threshold)?;
+            let pruned = self
+                .store
+                .prune_below_threshold(self.config.save_threshold)?;
             if pruned > 0 {
                 // Keep the in-memory parser sets consistent with the store.
                 let (sets, _bad) = self.store.load_pattern_sets()?;
@@ -173,7 +179,10 @@ impl SequenceRtg {
         batch: &[LogRecord],
         now: u64,
     ) -> Result<BatchReport, StoreError> {
-        let mut report = BatchReport { received: batch.len() as u64, ..Default::default() };
+        let mut report = BatchReport {
+            received: batch.len() as u64,
+            ..Default::default()
+        };
         let mut scanned = Vec::with_capacity(batch.len());
         for r in batch {
             let t = self.scanner.scan(&r.message);
@@ -196,7 +205,10 @@ impl SequenceRtg {
             let (id, inserted) = self.store.upsert_discovered(service, d, now)?;
             if inserted {
                 report.new_patterns += 1;
-                self.sets.entry(service.to_string()).or_default().insert(id, d.pattern.clone());
+                self.sets
+                    .entry(service.to_string())
+                    .or_default()
+                    .insert(id, d.pattern.clone());
             } else {
                 report.updated_patterns += 1;
             }
@@ -268,8 +280,10 @@ impl SequenceRtg {
             return Ok(());
         }
         report.analyzed += unmatched.len() as u64;
-        let subset: Vec<TokenizedMessage> =
-            unmatched.iter().map(|&i| scanned[i as usize].clone()).collect();
+        let subset: Vec<TokenizedMessage> = unmatched
+            .iter()
+            .map(|&i| scanned[i as usize].clone())
+            .collect();
         let mut discovered = self.analyzer.analyze(&subset);
         if self.config.semi_constant_split {
             discovered = semiconst::split_semi_constant(
@@ -383,7 +397,10 @@ mod tests {
         let p = &rtg.store_mut().patterns(Some("app")).unwrap()[0];
         assert!(p.pattern().unwrap().has_ignore_rest());
         // A later multi-line message with different continuation matches.
-        let again = vec![LogRecord::new("app", "panic: oh help\ncompletely different tail")];
+        let again = vec![LogRecord::new(
+            "app",
+            "panic: oh help\ncompletely different tail",
+        )];
         let r2 = rtg.analyze_by_service(&again, 2).unwrap();
         assert_eq!(r2.matched_known, 1);
     }

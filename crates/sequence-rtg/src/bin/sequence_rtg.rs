@@ -52,7 +52,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut i = 0usize;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
-        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
     };
     while i < args.len() {
         match args[i].as_str() {
@@ -76,10 +78,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--extended" => opts.extended = true,
             "--export" => {
                 let v = value(&mut i, "--export")?;
-                opts.export = Some(
-                    ExportFormat::from_flag(&v)
-                        .ok_or_else(|| format!("unknown export format {v:?} (syslog-ng | yaml | grok)"))?,
-                )
+                opts.export = Some(ExportFormat::from_flag(&v).ok_or_else(|| {
+                    format!("unknown export format {v:?} (syslog-ng | yaml | grok)")
+                })?)
             }
             "--min-count" => {
                 opts.min_count = value(&mut i, "--min-count")?
@@ -103,7 +104,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn now_unix() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn main() -> ExitCode {
@@ -115,7 +119,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("usage: sequence-rtg [--db DIR] [--batch-size N] [--threads N] [--save-threshold N] [--seminal] [--extended] [--export syslog-ng|yaml|grok] [--min-count N] [--max-complexity F] [--review] [--resolve-conflicts] [--quiet]");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 
@@ -231,7 +239,12 @@ fn main() -> ExitCode {
         if !conflicts.is_empty() {
             println!("multi-match conflicts ({}):", conflicts.len());
             for c in conflicts.iter().take(20) {
-                println!("  {} vs {}  example: {:?}", &c.pattern_a[..8], &c.pattern_b[..8], c.example);
+                println!(
+                    "  {} vs {}  example: {:?}",
+                    &c.pattern_a[..8],
+                    &c.pattern_b[..8],
+                    c.example
+                );
             }
             if opts.resolve_conflicts {
                 let mut resolved = 0;
@@ -251,9 +264,15 @@ fn main() -> ExitCode {
         // The priority-ordered review queue.
         match patterndb::ReviewQueue::build(store) {
             Ok(queue) => {
-                println!("
-review queue ({} candidates):", queue.items().len());
-                println!("{:>8} {:>8} {:>10} {:<10} pattern", "priority", "count", "complexity", "service");
+                println!(
+                    "
+review queue ({} candidates):",
+                    queue.items().len()
+                );
+                println!(
+                    "{:>8} {:>8} {:>10} {:<10} pattern",
+                    "priority", "count", "complexity", "service"
+                );
                 for item in queue.top(25) {
                     println!(
                         "{:>8.2} {:>8} {:>10.2} {:<10} {}",
@@ -273,12 +292,11 @@ review queue ({} candidates):", queue.items().len());
     }
 
     if let Some(format) = opts.export {
-        let selection =
-            ExportSelection {
-                min_count: opts.min_count,
-                max_complexity: opts.max_complexity,
-                ..Default::default()
-            };
+        let selection = ExportSelection {
+            min_count: opts.min_count,
+            max_complexity: opts.max_complexity,
+            ..Default::default()
+        };
         match export_patterns(pipeline.engine_mut().store_mut(), format, selection) {
             Ok(doc) => {
                 let mut stdout = std::io::stdout();

@@ -41,7 +41,10 @@ impl RtgConfig {
     /// Configuration reproducing the seminal Sequence behaviour (no quality
     /// control), used as the baseline in the Fig. 5 experiment.
     pub fn seminal() -> Self {
-        RtgConfig { analyzer: AnalyzerOptions::seminal_sequence(), ..Default::default() }
+        RtgConfig {
+            analyzer: AnalyzerOptions::seminal_sequence(),
+            ..Default::default()
+        }
     }
 
     /// Everything on: future-work scanner extensions and semi-constant
@@ -63,8 +66,14 @@ mod tests {
     fn defaults_match_paper_production_settings() {
         let c = RtgConfig::default();
         assert_eq!(c.batch_size, 100_000);
-        assert!(!c.scanner.allow_single_digit_time, "paper limitation preserved by default");
-        assert!(c.analyzer.quality_control, "RTG quality control on by default");
+        assert!(
+            !c.scanner.allow_single_digit_time,
+            "paper limitation preserved by default"
+        );
+        assert!(
+            c.analyzer.quality_control,
+            "RTG quality control on by default"
+        );
     }
 
     #[test]

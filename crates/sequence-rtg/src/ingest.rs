@@ -158,10 +158,7 @@ mod tests {
 
     #[test]
     fn batch_size_zero_clamped_to_one() {
-        let mut ing = StreamIngester::new(
-            stream(&[r#"{"service":"a","message":"x"}"#]),
-            0,
-        );
+        let mut ing = StreamIngester::new(stream(&[r#"{"service":"a","message":"x"}"#]), 0);
         assert_eq!(ing.batch_size(), 1);
         assert_eq!(ing.next_batch().unwrap().unwrap().len(), 1);
     }

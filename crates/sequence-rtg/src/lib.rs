@@ -26,7 +26,7 @@
 //! Extensions implemented from the paper's future-work list: a path FSM and
 //! single-digit time parts (scanner options), semi-constant variable
 //! splitting ([`semiconst`]), and in-process service-sharded parallel
-//! analysis ([`parallel`], crossbeam-based).
+//! analysis ([`parallel`], std scoped threads).
 //!
 //! ```
 //! use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};

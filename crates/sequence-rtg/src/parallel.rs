@@ -5,7 +5,7 @@
 //! any number (of) instances of Sequence-RTG [...] as there is no crossover
 //! with patterns between different services". This module implements that
 //! scale-out *inside* one process: services are sharded across worker
-//! threads (crossbeam scoped threads over the shared, read-only pattern
+//! threads (`std::thread::scope` over the shared, read-only pattern
 //! sets); the compute-heavy scan + parse + analyse runs in parallel and the
 //! single pattern store is updated afterwards by the coordinating thread.
 
@@ -40,7 +40,10 @@ impl SequenceRtg {
         threads: usize,
     ) -> Result<BatchReport, StoreError> {
         let threads = threads.max(1);
-        let mut report = BatchReport { received: batch.len() as u64, ..Default::default() };
+        let mut report = BatchReport {
+            received: batch.len() as u64,
+            ..Default::default()
+        };
         let mut by_service: HashMap<&str, Vec<&LogRecord>> = HashMap::new();
         for r in batch {
             by_service.entry(r.service.as_str()).or_default().push(r);
@@ -49,11 +52,13 @@ impl SequenceRtg {
         let mut services: Vec<(&str, Vec<&LogRecord>)> = by_service.into_iter().collect();
         // Largest services first so shards balance.
         services.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
-        let mut shards: Vec<Vec<(&str, Vec<&LogRecord>)>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut shards: Vec<Vec<(&str, Vec<&LogRecord>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
         let mut shard_load = vec![0usize; threads];
         for (svc, recs) in services {
-            let lightest =
-                (0..threads).min_by_key(|&i| shard_load[i]).expect("threads >= 1");
+            let lightest = (0..threads)
+                .min_by_key(|&i| shard_load[i])
+                .expect("threads >= 1");
             shard_load[lightest] += recs.len();
             shards[lightest].push((svc, recs));
         }
@@ -63,15 +68,14 @@ impl SequenceRtg {
         let sets = &self.sets;
         let config = self.config;
 
-        let outcomes: Vec<ServiceOutcome> = crossbeam::thread::scope(|scope| {
+        let outcomes: Vec<ServiceOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for shard in &shards {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut results = Vec::new();
                     for (service, records) in shard {
                         let mut svc_report = BatchReport::default();
-                        let mut scanned: Vec<TokenizedMessage> =
-                            Vec::with_capacity(records.len());
+                        let mut scanned: Vec<TokenizedMessage> = Vec::with_capacity(records.len());
                         for r in records.iter() {
                             let t = scanner.scan(&r.message);
                             if t.truncated_multiline {
@@ -117,9 +121,11 @@ impl SequenceRtg {
                     results
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("crossbeam scope");
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         // Serial merge into the store and the in-memory sets.
         for outcome in outcomes {
@@ -144,7 +150,9 @@ impl SequenceRtg {
             }
         }
         if self.config.save_threshold > 0 {
-            let pruned = self.store.prune_below_threshold(self.config.save_threshold)?;
+            let pruned = self
+                .store
+                .prune_below_threshold(self.config.save_threshold)?;
             if pruned > 0 {
                 let (sets, _bad) = self.store.load_pattern_sets()?;
                 self.sets = sets;

@@ -23,7 +23,12 @@ pub struct Pipeline {
 impl Pipeline {
     /// Wrap an engine; batch size comes from the engine's config.
     pub fn new(rtg: SequenceRtg) -> Pipeline {
-        Pipeline { rtg, pending: Vec::new(), batches_run: 0, threads: 1 }
+        Pipeline {
+            rtg,
+            pending: Vec::new(),
+            batches_run: 0,
+            threads: 1,
+        }
     }
 
     /// Use `threads` workers per analysis run.
@@ -69,7 +74,8 @@ impl Pipeline {
         let batch = std::mem::take(&mut self.pending);
         self.batches_run += 1;
         if self.threads > 1 {
-            self.rtg.analyze_by_service_parallel(&batch, now, self.threads)
+            self.rtg
+                .analyze_by_service_parallel(&batch, now, self.threads)
         } else {
             self.rtg.analyze_by_service(&batch, now)
         }
@@ -82,15 +88,27 @@ mod tests {
     use crate::config::RtgConfig;
 
     fn engine(batch_size: usize) -> SequenceRtg {
-        SequenceRtg::in_memory(RtgConfig { batch_size, ..RtgConfig::default() })
+        SequenceRtg::in_memory(RtgConfig {
+            batch_size,
+            ..RtgConfig::default()
+        })
     }
 
     #[test]
     fn batches_trigger_at_configured_size() {
         let mut p = Pipeline::new(engine(3));
-        assert!(p.push(LogRecord::new("s", "alpha beta 1"), 1).unwrap().is_none());
-        assert!(p.push(LogRecord::new("s", "alpha beta 2"), 1).unwrap().is_none());
-        let report = p.push(LogRecord::new("s", "alpha beta 3"), 1).unwrap().unwrap();
+        assert!(p
+            .push(LogRecord::new("s", "alpha beta 1"), 1)
+            .unwrap()
+            .is_none());
+        assert!(p
+            .push(LogRecord::new("s", "alpha beta 2"), 1)
+            .unwrap()
+            .is_none());
+        let report = p
+            .push(LogRecord::new("s", "alpha beta 3"), 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(report.received, 3);
         assert_eq!(p.pending_len(), 0);
         assert_eq!(p.batches_run(), 1);
@@ -109,11 +127,15 @@ mod tests {
     fn knowledge_carries_across_batches() {
         let mut p = Pipeline::new(engine(2));
         for i in 0..2 {
-            p.push(LogRecord::new("s", format!("worker {i} spawned")), 1).unwrap();
+            p.push(LogRecord::new("s", format!("worker {i} spawned")), 1)
+                .unwrap();
         }
         // Second batch: same event shape should parse, not re-analyse.
         p.push(LogRecord::new("s", "worker 77 spawned"), 2).unwrap();
-        let report = p.push(LogRecord::new("s", "worker 78 spawned"), 2).unwrap().unwrap();
+        let report = p
+            .push(LogRecord::new("s", "worker 78 spawned"), 2)
+            .unwrap()
+            .unwrap();
         assert_eq!(report.matched_known, 2);
         assert_eq!(report.new_patterns, 0);
     }

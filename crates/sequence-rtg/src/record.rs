@@ -44,7 +44,10 @@ impl std::error::Error for RecordError {}
 impl LogRecord {
     /// Construct a record directly.
     pub fn new(service: impl Into<String>, message: impl Into<String>) -> LogRecord {
-        LogRecord { service: service.into(), message: message.into() }
+        LogRecord {
+            service: service.into(),
+            message: message.into(),
+        }
     }
 
     /// Parse one JSON stream line.
@@ -99,17 +102,21 @@ mod tests {
 
     #[test]
     fn extra_fields_tolerated() {
-        let r = LogRecord::from_json_line(
-            r#"{"service":"x","message":"m","host":"ignored"}"#,
-        )
-        .unwrap();
+        let r =
+            LogRecord::from_json_line(r#"{"service":"x","message":"m","host":"ignored"}"#).unwrap();
         assert_eq!(r.service, "x");
     }
 
     #[test]
     fn errors() {
-        assert!(matches!(LogRecord::from_json_line("not json"), Err(RecordError::Json(_))));
-        assert!(matches!(LogRecord::from_json_line("[1,2]"), Err(RecordError::NotAnObject)));
+        assert!(matches!(
+            LogRecord::from_json_line("not json"),
+            Err(RecordError::Json(_))
+        ));
+        assert!(matches!(
+            LogRecord::from_json_line("[1,2]"),
+            Err(RecordError::NotAnObject)
+        ));
         assert!(matches!(
             LogRecord::from_json_line(r#"{"message":"m"}"#),
             Err(RecordError::MissingService)

@@ -94,7 +94,10 @@ fn try_split(
                 PatternElement::Variable { space_before, .. } => *space_before,
                 _ => unreachable!("candidate positions are variables"),
             };
-            els[pos] = PatternElement::Literal { text: value, space_before };
+            els[pos] = PatternElement::Literal {
+                text: value,
+                space_before,
+            };
             let pattern = Pattern::new(els).expect("ignore-rest position unchanged");
             let mut examples = Vec::new();
             for &mi in &members {
@@ -137,7 +140,11 @@ mod tests {
             "link up on eth1",
             "link down on eth2",
         ]);
-        assert_eq!(d.len(), 1, "analyser merges up/down into one variable: {d:?}");
+        assert_eq!(
+            d.len(),
+            1,
+            "analyser merges up/down into one variable: {d:?}"
+        );
         let split = split_semi_constant(d, &msgs, 3);
         assert_eq!(split.len(), 2);
         let mut renders: Vec<String> = split.iter().map(|v| v.pattern.render()).collect();

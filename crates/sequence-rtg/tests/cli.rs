@@ -12,7 +12,12 @@ fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn sequence-rtg");
-    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     (
         String::from_utf8_lossy(&out.stdout).to_string(),
@@ -43,8 +48,10 @@ fn pipes_stream_and_reports() {
 
 #[test]
 fn grok_export_to_stdout() {
-    let (stdout, stderr, ok) =
-        run_cli(&["--batch-size", "10", "--quiet", "--export", "grok"], &sample_stream());
+    let (stdout, stderr, ok) = run_cli(
+        &["--batch-size", "10", "--quiet", "--export", "grok"],
+        &sample_stream(),
+    );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("%{IP:srcip}"), "{stdout}");
     assert!(stdout.contains("pattern_id"), "{stdout}");
@@ -54,7 +61,15 @@ fn grok_export_to_stdout() {
 #[test]
 fn syslogng_export_with_selection() {
     let (stdout, _, ok) = run_cli(
-        &["--batch-size", "10", "--quiet", "--export", "syslog-ng", "--min-count", "1"],
+        &[
+            "--batch-size",
+            "10",
+            "--quiet",
+            "--export",
+            "syslog-ng",
+            "--min-count",
+            "1",
+        ],
         &sample_stream(),
     );
     assert!(ok);
@@ -100,8 +115,10 @@ fn seminal_mode_runs() {
 
 #[test]
 fn review_mode_prints_queue() {
-    let (stdout, stderr, ok) =
-        run_cli(&["--batch-size", "10", "--quiet", "--review"], &sample_stream());
+    let (stdout, stderr, ok) = run_cli(
+        &["--batch-size", "10", "--quiet", "--review"],
+        &sample_stream(),
+    );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("review queue"), "{stdout}");
     assert!(stdout.contains("priority"), "{stdout}");
@@ -111,7 +128,13 @@ fn review_mode_prints_queue() {
 #[test]
 fn review_with_conflict_resolution_flag_runs() {
     let (stdout, stderr, ok) = run_cli(
-        &["--batch-size", "10", "--quiet", "--review", "--resolve-conflicts"],
+        &[
+            "--batch-size",
+            "10",
+            "--quiet",
+            "--review",
+            "--resolve-conflicts",
+        ],
         &sample_stream(),
     );
     assert!(ok, "{stderr}");

@@ -8,13 +8,12 @@
 //! cargo run --example anomaly_watch
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sequence_rtg_repro::anomaly::{AlertKind, DetectorConfig, VolumeDetector};
+use testkit::rng::Rng;
 
 fn main() {
     let mut det = VolumeDetector::new(DetectorConfig::default());
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Rng::seed_from_u64(1);
     let services = ["sshd", "nginx", "postfix", "cron", "kernel"];
     let base = [400u64, 900, 150, 60, 220];
 

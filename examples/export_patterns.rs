@@ -14,17 +14,27 @@ use sequence_rtg_repro::sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 fn main() {
     // Mine patterns from a synthetic OpenSSH corpus.
     let dataset = generate("OpenSSH", 1500, 42);
-    let records: Vec<LogRecord> =
-        dataset.lines.iter().map(|l| LogRecord::new("sshd", l.raw.as_str())).collect();
+    let records: Vec<LogRecord> = dataset
+        .lines
+        .iter()
+        .map(|l| LogRecord::new("sshd", l.raw.as_str()))
+        .collect();
     let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
     let report = rtg.analyze_by_service(&records, 1_630_000_000).unwrap();
-    println!("mined {} patterns from {} messages\n", report.new_patterns, report.received);
+    println!(
+        "mined {} patterns from {} messages\n",
+        report.new_patterns, report.received
+    );
 
     let store = rtg.store_mut();
 
     // Selection: "this score can then be used to select only the strongest
     // patterns when exporting them for review".
-    let strong = ExportSelection { min_count: 10, max_complexity: 0.8, ..Default::default() };
+    let strong = ExportSelection {
+        min_count: 10,
+        max_complexity: 0.8,
+        ..Default::default()
+    };
     let all = ExportSelection::default();
 
     let xml = export_patterns(store, ExportFormat::SyslogNg, strong).unwrap();
@@ -39,7 +49,10 @@ fn main() {
     println!("\n=== Logstash Grok filters ===");
     println!("{}", first_lines(&grok, 18));
 
-    let n_all = export_patterns(store, ExportFormat::Yaml, all).unwrap().matches("- id:").count();
+    let n_all = export_patterns(store, ExportFormat::Yaml, all)
+        .unwrap()
+        .matches("- id:")
+        .count();
     let n_strong = yaml.matches("- id:").count();
     println!("\nselection effect: {n_all} patterns total, {n_strong} pass the strong filter");
 }

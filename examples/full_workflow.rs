@@ -17,13 +17,16 @@
 //! cargo run --release --example full_workflow
 //! ```
 
-use sequence_rtg_repro::logstore::{search, LogSink, Query};
 use sequence_rtg_repro::loghub_synth::{generate_stream, CorpusConfig};
+use sequence_rtg_repro::logstore::{search, LogSink, Query};
 use sequence_rtg_repro::sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::collections::HashMap;
 
 fn main() {
-    let mut rtg = SequenceRtg::in_memory(RtgConfig { save_threshold: 2, ..RtgConfig::default() });
+    let mut rtg = SequenceRtg::in_memory(RtgConfig {
+        save_threshold: 2,
+        ..RtgConfig::default()
+    });
     let mut promoted: HashMap<String, sequence_rtg_repro::sequence_core::PatternSet> =
         HashMap::new();
 
@@ -62,7 +65,10 @@ fn main() {
         for c in rtg.store_mut().patterns(None).unwrap() {
             if c.count >= 5 && c.complexity <= 0.9 {
                 if let Ok(p) = c.pattern() {
-                    promoted.entry(c.service.clone()).or_default().insert(c.id.clone(), p);
+                    promoted
+                        .entry(c.service.clone())
+                        .or_default()
+                        .insert(c.id.clone(), p);
                     promoted_now += 1;
                 }
             }

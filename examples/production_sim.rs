@@ -26,7 +26,10 @@ fn main() {
 
     let first = stats.first().unwrap();
     let last = stats.last().unwrap();
-    println!("\nheadline: unmatched {:.0}% -> {:.0}%", first.unmatched_pct, last.unmatched_pct);
+    println!(
+        "\nheadline: unmatched {:.0}% -> {:.0}%",
+        first.unmatched_pct, last.unmatched_pct
+    );
     println!("(the paper reports 75-80% -> ~15% over 60 days at CC-IN2P3)");
     println!(
         "batch fill time grew from {:.0} to {:.0} minutes as promotions drained the unknown stream",

@@ -16,11 +16,19 @@ use std::io::Cursor;
 fn main() {
     // Synthesize a 25k-message stream from 40 services — stands in for
     // `journalctl -o json | sequence-rtg` style input.
-    let stream = generate_stream(CorpusConfig { services: 40, total: 25_000, seed: 7 });
+    let stream = generate_stream(CorpusConfig {
+        services: 40,
+        total: 25_000,
+        seed: 7,
+    });
     let json = to_json_lines(&stream);
     println!("stream: {} JSON lines from 40 services\n", stream.len());
 
-    let config = RtgConfig { batch_size: 5_000, save_threshold: 0, ..RtgConfig::default() };
+    let config = RtgConfig {
+        batch_size: 5_000,
+        save_threshold: 0,
+        ..RtgConfig::default()
+    };
     let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config)).with_threads(2);
 
     let mut ingester = StreamIngester::new(Cursor::new(json), config.batch_size);
@@ -44,10 +52,17 @@ fn main() {
     }
 
     let engine = pipeline.engine_mut();
-    println!("\ntotal patterns now known: {}", engine.total_known_patterns());
+    println!(
+        "\ntotal patterns now known: {}",
+        engine.total_known_patterns()
+    );
     println!("top services by pattern count:");
-    for (service, patterns, matches) in
-        engine.store_mut().service_summary().unwrap().into_iter().take(8)
+    for (service, patterns, matches) in engine
+        .store_mut()
+        .service_summary()
+        .unwrap()
+        .into_iter()
+        .take(8)
     {
         println!("  {service:<20} {patterns:3} patterns, {matches:6} messages covered");
     }

@@ -18,11 +18,13 @@ fn scanner_handles_every_dataset_line() {
             assert!(!t.tokens.is_empty(), "{name}: no tokens for {:?}", line.raw);
             // Tokens concatenate back to the (single-spaced) message text.
             let rebuilt = t.reconstruct();
-            let normalised: String =
-                line.raw.split_whitespace().collect::<Vec<_>>().join(" ");
-            let rebuilt_norm: String =
-                rebuilt.split_whitespace().collect::<Vec<_>>().join(" ");
-            assert_eq!(rebuilt_norm, normalised, "{name}: token loss in {:?}", line.raw);
+            let normalised: String = line.raw.split_whitespace().collect::<Vec<_>>().join(" ");
+            let rebuilt_norm: String = rebuilt.split_whitespace().collect::<Vec<_>>().join(" ");
+            assert_eq!(
+                rebuilt_norm, normalised,
+                "{name}: token loss in {:?}",
+                line.raw
+            );
         }
     }
 }
@@ -31,19 +33,30 @@ fn scanner_handles_every_dataset_line() {
 fn headers_with_timestamps_scan_to_time_tokens() {
     let scanner = Scanner::new();
     // Services whose headers start with (or contain) a recognisable stamp.
-    for (name, expect_rate) in
-        [("Hadoop", 0.95), ("Spark", 0.95), ("Windows", 0.95), ("OpenSSH", 0.95), ("BGL", 0.95)]
-    {
+    for (name, expect_rate) in [
+        ("Hadoop", 0.95),
+        ("Spark", 0.95),
+        ("Windows", 0.95),
+        ("OpenSSH", 0.95),
+        ("BGL", 0.95),
+    ] {
         let d = generate(name, 200, 3);
         let with_time = d
             .lines
             .iter()
             .filter(|l| {
-                scanner.scan(&l.raw).tokens.iter().any(|t| t.ty == TokenType::Time)
+                scanner
+                    .scan(&l.raw)
+                    .tokens
+                    .iter()
+                    .any(|t| t.ty == TokenType::Time)
             })
             .count();
         let rate = with_time as f64 / d.lines.len() as f64;
-        assert!(rate >= expect_rate, "{name}: only {rate:.2} of lines have a Time token");
+        assert!(
+            rate >= expect_rate,
+            "{name}: only {rate:.2} of lines have a Time token"
+        );
     }
 }
 
@@ -56,18 +69,33 @@ fn healthapp_headers_mostly_lack_time_tokens_by_default() {
     let with_time = d
         .lines
         .iter()
-        .filter(|l| scanner.scan(&l.raw).tokens.iter().any(|t| t.ty == TokenType::Time))
+        .filter(|l| {
+            scanner
+                .scan(&l.raw)
+                .tokens
+                .iter()
+                .any(|t| t.ty == TokenType::Time)
+        })
         .count();
     let rate = with_time as f64 / d.lines.len() as f64;
-    assert!(rate < 0.6, "most HealthApp stamps must fail the default FSM: {rate:.2}");
-    assert!(rate > 0.05, "but the all-two-digit minority must succeed: {rate:.2}");
+    assert!(
+        rate < 0.6,
+        "most HealthApp stamps must fail the default FSM: {rate:.2}"
+    );
+    assert!(
+        rate > 0.05,
+        "but the all-two-digit minority must succeed: {rate:.2}"
+    );
 }
 
 #[test]
 fn syslogng_export_is_well_formed_xml_for_real_mined_patterns() {
     let d = generate("OpenSSH", 800, 5);
-    let records: Vec<LogRecord> =
-        d.lines.iter().map(|l| LogRecord::new("sshd", l.raw.as_str())).collect();
+    let records: Vec<LogRecord> = d
+        .lines
+        .iter()
+        .map(|l| LogRecord::new("sshd", l.raw.as_str()))
+        .collect();
     let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
     rtg.analyze_by_service(&records, 1).unwrap();
     let xml = export_patterns(
@@ -93,10 +121,18 @@ fn check_balanced_xml(xml: &str) {
     }
     while let Some(open) = rest.find('<') {
         let text = &rest[..open];
-        assert!(!text.contains('>'), "bare '>' in text near {:?}", &text[..text.len().min(40)]);
         assert!(
-            !text.contains('&') || text.contains("&amp;") || text.contains("&lt;")
-                || text.contains("&gt;") || text.contains("&apos;") || text.contains("&quot;"),
+            !text.contains('>'),
+            "bare '>' in text near {:?}",
+            &text[..text.len().min(40)]
+        );
+        assert!(
+            !text.contains('&')
+                || text.contains("&amp;")
+                || text.contains("&lt;")
+                || text.contains("&gt;")
+                || text.contains("&apos;")
+                || text.contains("&quot;"),
             "bare '&' in text"
         );
         let close = rest[open..].find('>').expect("unterminated tag") + open;
@@ -109,11 +145,16 @@ fn check_balanced_xml(xml: &str) {
             continue;
         }
         if let Some(name) = tag.strip_prefix('/') {
-            let top = stack.pop().unwrap_or_else(|| panic!("close without open: </{name}>"));
+            let top = stack
+                .pop()
+                .unwrap_or_else(|| panic!("close without open: </{name}>"));
             assert_eq!(top, name, "mismatched close tag");
         } else if !tag.ends_with('/') {
-            let name: String =
-                tag.split(|c: char| c.is_whitespace()).next().unwrap_or("").to_string();
+            let name: String = tag
+                .split(|c: char| c.is_whitespace())
+                .next()
+                .unwrap_or("")
+                .to_string();
             stack.push(name);
         }
         rest = &rest[close + 1..];
@@ -124,14 +165,25 @@ fn check_balanced_xml(xml: &str) {
 #[test]
 fn grok_and_yaml_exports_cover_all_patterns() {
     let d = generate("HDFS", 600, 6);
-    let records: Vec<LogRecord> =
-        d.lines.iter().map(|l| LogRecord::new("hdfs", l.raw.as_str())).collect();
+    let records: Vec<LogRecord> = d
+        .lines
+        .iter()
+        .map(|l| LogRecord::new("hdfs", l.raw.as_str()))
+        .collect();
     let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
     let report = rtg.analyze_by_service(&records, 1).unwrap();
-    let grok =
-        export_patterns(rtg.store_mut(), ExportFormat::Grok, ExportSelection::default()).unwrap();
-    let yaml =
-        export_patterns(rtg.store_mut(), ExportFormat::Yaml, ExportSelection::default()).unwrap();
+    let grok = export_patterns(
+        rtg.store_mut(),
+        ExportFormat::Grok,
+        ExportSelection::default(),
+    )
+    .unwrap();
+    let yaml = export_patterns(
+        rtg.store_mut(),
+        ExportFormat::Yaml,
+        ExportSelection::default(),
+    )
+    .unwrap();
     assert_eq!(grok.matches("filter {").count() as u64, report.new_patterns);
     assert_eq!(yaml.matches("- id: ").count() as u64, report.new_patterns);
 }
@@ -143,7 +195,10 @@ fn extended_scanner_improves_healthapp_consistency() {
     let default_scanner = Scanner::new();
     let extended = Scanner::with_options(ScannerOptions::extended());
     let distinct_counts = |scanner: &Scanner| -> std::collections::HashSet<usize> {
-        d.lines.iter().map(|l| scanner.scan(&l.raw).token_count()).collect()
+        d.lines
+            .iter()
+            .map(|l| scanner.scan(&l.raw).token_count())
+            .collect()
     };
     // With the future-work fix every header folds into one Time token, so
     // the number of distinct token-count shapes shrinks.

@@ -7,9 +7,16 @@ use sequence_rtg_repro::sequence_rtg::{Pipeline, RtgConfig, SequenceRtg, StreamI
 use std::io::Cursor;
 
 fn run_stream(total: usize, batch_size: usize) -> Pipeline {
-    let stream = generate_stream(CorpusConfig { services: 12, total, seed: 5 });
+    let stream = generate_stream(CorpusConfig {
+        services: 12,
+        total,
+        seed: 5,
+    });
     let json = to_json_lines(&stream);
-    let config = RtgConfig { batch_size, ..RtgConfig::default() };
+    let config = RtgConfig {
+        batch_size,
+        ..RtgConfig::default()
+    };
     let mut pipeline = Pipeline::new(SequenceRtg::in_memory(config));
     let mut ingester = StreamIngester::new(Cursor::new(json), batch_size);
     while let Some(batch) = ingester.next_batch().unwrap() {
@@ -25,16 +32,31 @@ fn run_stream(total: usize, batch_size: usize) -> Pipeline {
 fn stream_to_store_to_export() {
     let mut pipeline = run_stream(3_000, 500);
     let engine = pipeline.engine_mut();
-    assert!(engine.total_known_patterns() > 20, "{}", engine.total_known_patterns());
+    assert!(
+        engine.total_known_patterns() > 20,
+        "{}",
+        engine.total_known_patterns()
+    );
 
     // Every export format renders the mined store.
-    for fmt in [ExportFormat::SyslogNg, ExportFormat::Yaml, ExportFormat::Grok] {
+    for fmt in [
+        ExportFormat::SyslogNg,
+        ExportFormat::Yaml,
+        ExportFormat::Grok,
+    ] {
         let doc = export_patterns(engine.store_mut(), fmt, ExportSelection::default()).unwrap();
-        assert!(doc.len() > 500, "export should be substantial: {} bytes", doc.len());
+        assert!(
+            doc.len() > 500,
+            "export should be substantial: {} bytes",
+            doc.len()
+        );
     }
-    let xml =
-        export_patterns(engine.store_mut(), ExportFormat::SyslogNg, ExportSelection::default())
-            .unwrap();
+    let xml = export_patterns(
+        engine.store_mut(),
+        ExportFormat::SyslogNg,
+        ExportSelection::default(),
+    )
+    .unwrap();
     assert!(xml.contains("<patterndb version='4'"));
     assert!(xml.contains("test_message"));
 }
@@ -45,17 +67,26 @@ fn later_batches_parse_against_earlier_patterns() {
     assert_eq!(pipeline.batches_run(), 6);
     // Re-run the same stream through the same engine: nearly everything
     // should now hit the parse-first path.
-    let stream = generate_stream(CorpusConfig { services: 12, total: 1_000, seed: 6 });
+    let stream = generate_stream(CorpusConfig {
+        services: 12,
+        total: 1_000,
+        seed: 6,
+    });
     let records: Vec<_> = stream
         .iter()
-        .map(|i| sequence_rtg_repro::sequence_rtg::LogRecord::new(
-            i.service.as_str(),
-            i.message.as_str(),
-        ))
+        .map(|i| {
+            sequence_rtg_repro::sequence_rtg::LogRecord::new(i.service.as_str(), i.message.as_str())
+        })
         .collect();
-    let report = pipeline.engine_mut().analyze_by_service(&records, 2).unwrap();
+    let report = pipeline
+        .engine_mut()
+        .analyze_by_service(&records, 2)
+        .unwrap();
     let ratio = report.matched_ratio();
-    assert!(ratio > 0.8, "most messages parse against mined patterns: {ratio}");
+    assert!(
+        ratio > 0.8,
+        "most messages parse against mined patterns: {ratio}"
+    );
 }
 
 #[test]

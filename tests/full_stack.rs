@@ -4,8 +4,8 @@
 //! pattern database; plus the volume anomaly detector watching the stream.
 
 use sequence_rtg_repro::anomaly::{AlertKind, DetectorConfig, VolumeDetector};
-use sequence_rtg_repro::logstore::{date_histogram, match_split, search, LogSink, Query};
 use sequence_rtg_repro::loghub_synth::{generate_stream, CorpusConfig};
+use sequence_rtg_repro::logstore::{date_histogram, match_split, search, LogSink, Query};
 use sequence_rtg_repro::patterndb::ReviewQueue;
 use sequence_rtg_repro::sequence_core::PatternSet;
 use sequence_rtg_repro::sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
@@ -13,7 +13,10 @@ use std::collections::HashMap;
 
 #[test]
 fn figure6_loop_end_to_end() {
-    let mut rtg = SequenceRtg::in_memory(RtgConfig { save_threshold: 2, ..RtgConfig::default() });
+    let mut rtg = SequenceRtg::in_memory(RtgConfig {
+        save_threshold: 2,
+        ..RtgConfig::default()
+    });
     let mut promoted: HashMap<String, PatternSet> = HashMap::new();
     let mut detector = VolumeDetector::new(DetectorConfig {
         warmup_ticks: 2,
@@ -23,8 +26,11 @@ fn figure6_loop_end_to_end() {
 
     let mut day2_sink = LogSink::new();
     for day in 1..=3u64 {
-        let stream =
-            generate_stream(CorpusConfig { services: 15, total: 3_000, seed: 40 + day });
+        let stream = generate_stream(CorpusConfig {
+            services: 15,
+            total: 3_000,
+            seed: 40 + day,
+        });
         let mut sink = LogSink::new();
         let mut unmatched = Vec::new();
         for (i, item) in stream.iter().enumerate() {
@@ -60,7 +66,13 @@ fn figure6_loop_end_to_end() {
             .items()
             .iter()
             .filter(|i| i.pattern.count >= 3 && i.pattern.complexity < 0.95)
-            .map(|i| (i.pattern.id.clone(), i.pattern.service.clone(), i.pattern.pattern().ok()))
+            .map(|i| {
+                (
+                    i.pattern.id.clone(),
+                    i.pattern.service.clone(),
+                    i.pattern.pattern().ok(),
+                )
+            })
             .collect();
         for (id, service, parsed) in decisions {
             if let Some(p) = parsed {
@@ -96,8 +108,13 @@ fn figure6_loop_end_to_end() {
     assert!(hits.iter().all(|h| h.pattern_id.is_some()));
 
     // The promoted database is consistent with the store's flags.
-    let flagged =
-        rtg.store_mut().patterns(None).unwrap().iter().filter(|p| p.promoted).count();
+    let flagged = rtg
+        .store_mut()
+        .patterns(None)
+        .unwrap()
+        .iter()
+        .filter(|p| p.promoted)
+        .count();
     let in_memory: usize = promoted.values().map(|s| s.len()).sum();
     assert_eq!(flagged, in_memory);
 }
@@ -112,7 +129,11 @@ fn figure6_loop_detects_injected_burst() {
         ..DetectorConfig::default()
     });
     for day in 0..8u64 {
-        let stream = generate_stream(CorpusConfig { services: 10, total: 1_500, seed: 90 + day });
+        let stream = generate_stream(CorpusConfig {
+            services: 10,
+            total: 1_500,
+            seed: 90 + day,
+        });
         for item in &stream {
             detector.observe(&item.service, 1);
         }

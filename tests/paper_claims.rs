@@ -77,9 +77,10 @@ fn limitation4_variable_minimisation() {
         .map(|i| scanner.scan(&format!("request {i} finished with status 200 in 35 ms")))
         .collect();
     let rtg_out = Analyzer::new().analyze(&batch);
-    let seminal_out =
-        Analyzer::with_options(sequence_rtg_repro::sequence_core::AnalyzerOptions::seminal_sequence())
-            .analyze(&batch);
+    let seminal_out = Analyzer::with_options(
+        sequence_rtg_repro::sequence_core::AnalyzerOptions::seminal_sequence(),
+    )
+    .analyze(&batch);
     let rtg_vars = rtg_out[0].pattern.variable_count();
     let seminal_vars = seminal_out[0].pattern.variable_count();
     assert!(
@@ -87,7 +88,11 @@ fn limitation4_variable_minimisation() {
         "quality control should reduce variables: {rtg_vars} vs {seminal_vars}"
     );
     // The constant status and duration are static text for RTG.
-    assert!(rtg_out[0].pattern.render().contains("status 200"), "{}", rtg_out[0].pattern.render());
+    assert!(
+        rtg_out[0].pattern.render().contains("status 200"),
+        "{}",
+        rtg_out[0].pattern.render()
+    );
 }
 
 /// Limitation 5: service partitioning keeps per-trie workloads bounded and
@@ -115,19 +120,32 @@ fn limitation5_service_partitioning_isolates_services() {
 fn limitation6_multiline_messages() {
     let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
     let batch = vec![
-        LogRecord::new("app", "Exception in thread main\n  at Foo.bar(Foo.java:10)\n  at Main.main(Main.java:3)"),
-        LogRecord::new("app", "Exception in thread worker\n  at Baz.qux(Baz.java:77)"),
+        LogRecord::new(
+            "app",
+            "Exception in thread main\n  at Foo.bar(Foo.java:10)\n  at Main.main(Main.java:3)",
+        ),
+        LogRecord::new(
+            "app",
+            "Exception in thread worker\n  at Baz.qux(Baz.java:77)",
+        ),
         LogRecord::new("app", "Exception in thread scheduler\nno stack available"),
     ];
     let r = rtg.analyze_by_service(&batch, 1).unwrap();
     assert_eq!(r.multiline, 3);
     let stored = rtg.store_mut().patterns(Some("app")).unwrap();
     assert_eq!(stored.len(), 1);
-    assert!(stored[0].pattern_text.ends_with("%...%"), "{}", stored[0].pattern_text);
+    assert!(
+        stored[0].pattern_text.ends_with("%...%"),
+        "{}",
+        stored[0].pattern_text
+    );
     // A new multi-line message with a totally different tail still matches.
     let r2 = rtg
         .analyze_by_service(
-            &[LogRecord::new("app", "Exception in thread reaper\nunique tail 12345")],
+            &[LogRecord::new(
+                "app",
+                "Exception in thread reaper\nunique tail 12345",
+            )],
             2,
         )
         .unwrap();
@@ -146,8 +164,14 @@ fn remaining_limitation_single_digit_time_parts() {
     let msg = "20171224-0:7:20:444 calculateCaloriesWithCache totalCalories=391";
     let d = default.scan(msg);
     let f = fixed.scan(msg);
-    assert!(f.token_count() < d.token_count(), "fixed FSM folds the stamp into one token");
-    assert_eq!(f.tokens[0].ty, sequence_rtg_repro::sequence_core::TokenType::Time);
+    assert!(
+        f.token_count() < d.token_count(),
+        "fixed FSM folds the stamp into one token"
+    );
+    assert_eq!(
+        f.tokens[0].ty,
+        sequence_rtg_repro::sequence_core::TokenType::Time
+    );
 }
 
 /// §IV remaining limitation: a `%` sign in static pattern text causes an
@@ -162,7 +186,10 @@ fn remaining_limitation_percent_sign_unknown_tag() {
 /// under-generalised patterns; the save threshold is the mitigation.
 #[test]
 fn remaining_limitation_save_threshold_for_singletons() {
-    let mut rtg = SequenceRtg::in_memory(RtgConfig { save_threshold: 2, ..RtgConfig::default() });
+    let mut rtg = SequenceRtg::in_memory(RtgConfig {
+        save_threshold: 2,
+        ..RtgConfig::default()
+    });
     let r = rtg
         .analyze_by_service(
             &[LogRecord::new("svc", "completely singular occurrence text")],

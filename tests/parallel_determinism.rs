@@ -1,0 +1,114 @@
+//! Parallel determinism: `analyze_by_service_parallel(batch, now, threads)`
+//! must produce byte-identical pattern sets and match counts vs. the
+//! sequential path for every thread count — the paper's scale-out claim
+//! ("there is no crossover with patterns between different services")
+//! depends on sharding being observationally invisible.
+
+use sequence_rtg_repro::loghub_synth::{generate_stream, CorpusConfig};
+use sequence_rtg_repro::sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A multi-service loghub-synth corpus (24 virtual services, Zipf volumes).
+fn corpus() -> Vec<LogRecord> {
+    generate_stream(CorpusConfig {
+        services: 24,
+        total: 4_000,
+        seed: 77,
+    })
+    .into_iter()
+    .map(|i| LogRecord::new(i.service, i.message))
+    .collect()
+}
+
+/// Full store snapshot: every discovered pattern with its identity and
+/// counters, sorted for byte-for-byte comparison.
+fn snapshot(rtg: &mut SequenceRtg) -> Vec<(String, String, String, u64)> {
+    let mut rows: Vec<(String, String, String, u64)> = rtg
+        .store_mut()
+        .patterns(None)
+        .expect("patterns")
+        .into_iter()
+        .map(|p| (p.service, p.id, p.pattern_text, p.count))
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn parallel_equals_sequential_for_all_thread_counts() {
+    let batch = corpus();
+    let mut seq = SequenceRtg::in_memory(RtgConfig::default());
+    let baseline = seq
+        .analyze_by_service(&batch, 7)
+        .expect("sequential analysis");
+    let baseline_snapshot = snapshot(&mut seq);
+    assert!(
+        !baseline_snapshot.is_empty(),
+        "the corpus must discover patterns"
+    );
+
+    for threads in THREAD_COUNTS {
+        let mut par = SequenceRtg::in_memory(RtgConfig::default());
+        let report = par
+            .analyze_by_service_parallel(&batch, 7, threads)
+            .expect("parallel analysis");
+        assert_eq!(report.received, baseline.received, "threads={threads}");
+        assert_eq!(
+            report.matched_known, baseline.matched_known,
+            "threads={threads}"
+        );
+        assert_eq!(report.analyzed, baseline.analyzed, "threads={threads}");
+        assert_eq!(
+            report.new_patterns, baseline.new_patterns,
+            "threads={threads}"
+        );
+        assert_eq!(report.services, baseline.services, "threads={threads}");
+        assert_eq!(snapshot(&mut par), baseline_snapshot, "threads={threads}");
+    }
+}
+
+#[test]
+fn second_batch_match_counts_identical_across_thread_counts() {
+    let batch = corpus();
+    let mut seq = SequenceRtg::in_memory(RtgConfig::default());
+    seq.analyze_by_service(&batch, 1).expect("warm-up");
+    let baseline = seq.analyze_by_service(&batch, 2).expect("second batch");
+    let baseline_snapshot = snapshot(&mut seq);
+    assert_eq!(
+        baseline.matched_known, baseline.received,
+        "second pass fully matches"
+    );
+
+    for threads in THREAD_COUNTS {
+        let mut par = SequenceRtg::in_memory(RtgConfig::default());
+        par.analyze_by_service_parallel(&batch, 1, threads)
+            .expect("warm-up");
+        let report = par
+            .analyze_by_service_parallel(&batch, 2, threads)
+            .expect("second batch");
+        assert_eq!(
+            report.matched_known, baseline.matched_known,
+            "threads={threads}"
+        );
+        assert_eq!(report.new_patterns, 0, "threads={threads}");
+        // Per-pattern match counters must agree exactly, not just in total.
+        assert_eq!(snapshot(&mut par), baseline_snapshot, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_is_idempotent_per_thread_count() {
+    // The same thread count twice yields the same store — no hidden
+    // scheduling nondeterminism leaks into results.
+    let batch = corpus();
+    for threads in [2, 8] {
+        let run = |_| {
+            let mut rtg = SequenceRtg::in_memory(RtgConfig::default());
+            rtg.analyze_by_service_parallel(&batch, 3, threads)
+                .expect("analysis");
+            snapshot(&mut rtg)
+        };
+        assert_eq!(run(0), run(1), "threads={threads}");
+    }
+}

@@ -1,112 +1,195 @@
-//! Cross-crate property-based tests on the core invariants.
+//! Cross-crate property-based tests on the core invariants
+//! (testkit::prop; hermetic, seeded, shrinking).
 
-use proptest::prelude::*;
 use sequence_rtg_repro::sequence_core::{Analyzer, Pattern, Scanner, ScannerOptions};
+use testkit::prop::{self, Config, Strategy};
+use testkit::rng::Rng;
+use testkit::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-/// Strategy: log-message-ish strings (printable ASCII words, numbers, IPs,
-/// punctuation, the odd timestamp).
-fn arb_message() -> impl Strategy<Value = String> {
-    let word = prop_oneof![
-        "[a-zA-Z][a-zA-Z0-9_.-]{0,11}",
-        "[0-9]{1,8}",
-        "(10|192)\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
-        Just("pid=1234".to_string()),
-        Just("[core]".to_string()),
-        Just("2021-09-08 12:34:56".to_string()),
-        Just("0xdeadbeef".to_string()),
-        Just("done.".to_string()),
-    ];
-    prop::collection::vec(word, 1..10).prop_map(|ws| ws.join(" "))
+/// Strategy: a log-message-ish token list (printable ASCII words, numbers,
+/// IPs, punctuation, the odd timestamp). The value is the word list so the
+/// runner can shrink by dropping words; properties join with single spaces.
+struct MessageWords;
+
+impl Strategy for MessageWords {
+    type Value = Vec<String>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<String> {
+        let n = rng.gen_range(1..10usize);
+        (0..n).map(|_| gen_word(rng)).collect()
+    }
+
+    fn shrink(&self, words: &Vec<String>) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        if words.len() > 1 {
+            for i in 0..words.len() {
+                let mut w = words.clone();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        out
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn gen_word(rng: &mut Rng) -> String {
+    const IDENT_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const IDENT_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+    match rng.gen_range(0..8u32) {
+        0 => {
+            let mut w = String::new();
+            w.push(char::from(*rng.choose(IDENT_FIRST).unwrap()));
+            for _ in 0..rng.gen_range(0..12usize) {
+                w.push(char::from(*rng.choose(IDENT_REST).unwrap()));
+            }
+            w
+        }
+        1 => {
+            let n = rng.gen_range(1..9usize);
+            (0..n)
+                .map(|_| char::from(rng.gen_range(b'0'..=b'9')))
+                .collect()
+        }
+        2 => format!(
+            "{}.{}.{}.{}",
+            if rng.gen_bool(0.5) { 10 } else { 192 },
+            rng.gen_range(0..1000),
+            rng.gen_range(0..1000),
+            rng.gen_range(0..1000)
+        ),
+        3 => "pid=1234".to_string(),
+        4 => "[core]".to_string(),
+        5 => "2021-09-08 12:34:56".to_string(),
+        6 => "0xdeadbeef".to_string(),
+        _ => "done.".to_string(),
+    }
+}
 
-    /// The scanner's `is_space_before` bookkeeping reconstructs any
-    /// single-spaced message exactly (limitation 3).
-    #[test]
-    fn scanner_reconstructs_single_spaced_messages(msg in arb_message()) {
+fn join(words: &[String]) -> String {
+    words.join(" ")
+}
+
+/// The scanner's `is_space_before` bookkeeping reconstructs any
+/// single-spaced message exactly (limitation 3).
+#[test]
+fn scanner_reconstructs_single_spaced_messages() {
+    prop::check(&Config::cases(200), &MessageWords, |words| {
+        let msg = join(words);
         let t = Scanner::new().scan(&msg);
         prop_assert_eq!(t.reconstruct(), msg);
-    }
+        Ok(())
+    });
+}
 
-    /// Scanning is total and deterministic on arbitrary input.
-    #[test]
-    fn scanner_total_and_deterministic(msg in "\\PC{0,200}") {
-        let a = Scanner::new().scan(&msg);
-        let b = Scanner::new().scan(&msg);
+/// Scanning is total and deterministic on arbitrary input.
+#[test]
+fn scanner_total_and_deterministic() {
+    prop::check(&Config::cases(200), &prop::unicode_string(0..200), |msg| {
+        let a = Scanner::new().scan(msg);
+        let b = Scanner::new().scan(msg);
         prop_assert_eq!(&a, &b);
-        let ext = Scanner::with_options(ScannerOptions::extended()).scan(&msg);
-        prop_assert_eq!(ext.raw, msg);
-    }
+        let ext = Scanner::with_options(ScannerOptions::extended()).scan(msg);
+        prop_assert_eq!(&ext.raw, msg);
+        Ok(())
+    });
+}
 
-    /// Every message that contributed to a mined pattern matches that
-    /// pattern (analysis → parsing consistency).
-    #[test]
-    fn members_match_their_pattern(msgs in prop::collection::vec(arb_message(), 1..20)) {
-        let scanner = Scanner::new();
-        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
-        let discovered = Analyzer::new().analyze(&scanned);
-        for d in &discovered {
-            for &mi in &d.member_indices {
-                prop_assert!(
-                    d.pattern.match_message(&scanned[mi as usize]).is_some(),
-                    "message {:?} must match its own pattern {:?}",
-                    msgs[mi as usize],
-                    d.pattern.render()
-                );
+/// Every message that contributed to a mined pattern matches that pattern
+/// (analysis → parsing consistency), and membership covers every non-empty
+/// message exactly once.
+#[test]
+fn members_match_their_pattern() {
+    prop::check(
+        &Config::cases(200),
+        &prop::vec(MessageWords, 1..20),
+        |msg_words| {
+            let msgs: Vec<String> = msg_words.iter().map(|w| join(w)).collect();
+            let scanner = Scanner::new();
+            let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+            let discovered = Analyzer::new().analyze(&scanned);
+            for d in &discovered {
+                for &mi in &d.member_indices {
+                    prop_assert!(
+                        d.pattern.match_message(&scanned[mi as usize]).is_some(),
+                        "message {:?} must match its own pattern {:?}",
+                        msgs[mi as usize],
+                        d.pattern.render()
+                    );
+                }
             }
-        }
-        // And membership covers every non-empty message exactly once.
-        let mut covered: Vec<u32> = discovered.iter().flat_map(|d| d.member_indices.clone()).collect();
-        covered.sort_unstable();
-        let expected: Vec<u32> = (0..scanned.len() as u32)
-            .filter(|&i| !scanned[i as usize].tokens.is_empty())
-            .collect();
-        prop_assert_eq!(covered, expected);
-    }
+            let mut covered: Vec<u32> = discovered
+                .iter()
+                .flat_map(|d| d.member_indices.clone())
+                .collect();
+            covered.sort_unstable();
+            let expected: Vec<u32> = (0..scanned.len() as u32)
+                .filter(|&i| !scanned[i as usize].tokens.is_empty())
+                .collect();
+            prop_assert_eq!(covered, expected);
+            Ok(())
+        },
+    );
+}
 
-    /// Mined patterns survive a render → parse round trip structurally.
-    #[test]
-    fn mined_patterns_round_trip(msgs in prop::collection::vec(arb_message(), 1..12)) {
-        let scanner = Scanner::new();
-        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
-        for d in Analyzer::new().analyze(&scanned) {
-            let text = d.pattern.render();
-            match Pattern::parse(&text) {
-                Ok(parsed) => prop_assert_eq!(
-                    parsed.render(), text,
-                    "re-render must be stable"
-                ),
-                // A literal containing `%` is the paper's documented
-                // unknown-tag limitation — acceptable.
-                Err(e) => prop_assert!(
-                    text.contains('%'),
-                    "unexpected parse failure {e} for {text:?}"
-                ),
+/// Mined patterns survive a render → parse round trip structurally.
+#[test]
+fn mined_patterns_round_trip() {
+    prop::check(
+        &Config::cases(200),
+        &prop::vec(MessageWords, 1..12),
+        |msg_words| {
+            let msgs: Vec<String> = msg_words.iter().map(|w| join(w)).collect();
+            let scanner = Scanner::new();
+            let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+            for d in Analyzer::new().analyze(&scanned) {
+                let text = d.pattern.render();
+                match Pattern::parse(&text) {
+                    Ok(parsed) => {
+                        prop_assert_eq!(parsed.render(), text, "re-render must be stable")
+                    }
+                    // A literal containing `%` is the paper's documented
+                    // unknown-tag limitation — acceptable.
+                    Err(e) => prop_assert!(
+                        text.contains('%'),
+                        "unexpected parse failure {e} for {text:?}"
+                    ),
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The pattern id is a pure function of (pattern text, service).
-    #[test]
-    fn pattern_ids_reproducible(text in "[a-z %]{1,40}", svc in "[a-z]{1,12}") {
-        let a = sequence_rtg_repro::patterndb::pattern_id(&text, &svc);
-        let b = sequence_rtg_repro::patterndb::pattern_id(&text, &svc);
+/// The pattern id is a pure function of (pattern text, service).
+#[test]
+fn pattern_ids_reproducible() {
+    let strategy = (
+        prop::string("abcdefghijklmnopqrstuvwxyz %", 1..41),
+        prop::word(1..13),
+    );
+    prop::check(&Config::cases(200), &strategy, |(text, svc)| {
+        let a = sequence_rtg_repro::patterndb::pattern_id(text, svc);
+        let b = sequence_rtg_repro::patterndb::pattern_id(text, svc);
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.len(), 40);
-        let other = sequence_rtg_repro::patterndb::pattern_id(&text, "different");
+        let other = sequence_rtg_repro::patterndb::pattern_id(text, "different");
         prop_assert_ne!(a, other);
-    }
+        Ok(())
+    });
+}
 
-    /// JSON stream round trip for arbitrary service names and messages
-    /// (including newlines and quotes).
-    #[test]
-    fn stream_record_round_trip(svc in "[a-zA-Z0-9_-]{1,16}", msg in "\\PC{0,120}") {
+/// JSON stream round trip for arbitrary service names and messages
+/// (including newlines and quotes).
+#[test]
+fn stream_record_round_trip() {
+    let svc_chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+    let strategy = (prop::string(svc_chars, 1..17), prop::unicode_string(0..120));
+    prop::check(&Config::cases(200), &strategy, |(svc, msg)| {
         use sequence_rtg_repro::sequence_rtg::LogRecord;
-        let r = LogRecord::new(svc, msg);
+        let r = LogRecord::new(svc.clone(), msg.clone());
         let line = r.to_json_line();
         prop_assert!(!line.contains('\n'));
-        prop_assert_eq!(LogRecord::from_json_line(&line).unwrap(), r);
-    }
+        prop_assert_eq!(&LogRecord::from_json_line(&line).unwrap(), &r);
+        Ok(())
+    });
 }
