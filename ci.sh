@@ -16,6 +16,19 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> bench smoke (1 sample, JSON to a scratch file)"
+# One warm-up + one sample per benchmark: proves the bench binaries run and
+# emit well-formed JSON without touching the recorded results/ trajectories.
+smoke_json=$(mktemp)
+trap 'rm -f "${smoke_json}"' EXIT
+TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
+  cargo bench -q --offline -p bench --bench parser_throughput >/dev/null
+grep -q '"id":"parser/match_against_learned_set/1000"' "${smoke_json}"
+TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
+  cargo bench -q --offline -p bench --bench scanner_throughput >/dev/null
+grep -q '"id":"scanner/parse_only"' "${smoke_json}"
+echo "    bench smoke OK"
+
 echo "==> dependency audit: workspace crates only"
 # Every package cargo can see must live in this repository. A single
 # registry/git dependency breaks the offline guarantee, so fail on any

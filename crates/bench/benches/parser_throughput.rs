@@ -1,14 +1,89 @@
-//! Micro-benchmark: parser matching throughput against a realistic pattern
-//! set, the operation that runs on *every* production message (Fig. 6: the
-//! pattern database filters the full stream).
+//! Micro-benchmark: parser matching throughput, the operation that runs on
+//! *every* production message (Fig. 6: the pattern database filters the full
+//! stream).
+//!
+//! Two families of benchmarks:
+//!
+//! * `match_against_learned_set/{10,100,1000}` — match a fixed message
+//!   stream against a pattern set of the given size (all patterns the same
+//!   token count, i.e. the worst case for a per-length linear scan). This is
+//!   the PR-over-PR perf trajectory series; its JSON lands in
+//!   `results/BENCH_parser.json`.
+//! * `scan_and_match` / `learned_openssh` — the end-to-end per-message cost
+//!   (tokenise + match) and the original learned-set scenario, kept for
+//!   continuity with earlier recordings.
 
 use loghub_synth::generate;
+use sequence_core::{Pattern, PatternSet, Scanner, TokenizedMessage};
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::hint::black_box;
-use testkit::bench::{criterion_group, criterion_main, Criterion, Throughput};
+use testkit::bench::{criterion_group, BenchmarkId, Criterion, Throughput};
 
-fn bench_parser(c: &mut Criterion) {
-    // Learn patterns from one sample, match a fresh sample.
+/// Deterministic synthetic pattern set: `n` patterns for one service, all
+/// with the same token count so the length index cannot prune candidates.
+fn synth_set(n: usize) -> PatternSet {
+    let mut set = PatternSet::new();
+    for i in 0..n {
+        let text =
+            format!("svc worker-{i} handled %n:integer% requests from %src:ipv4% in %ms:float% ms");
+        set.insert(format!("p{i:04}"), Pattern::parse(&text).unwrap());
+    }
+    set
+}
+
+/// A message stream exercising the synthetic set: cycles through the
+/// patterns, instantiating the variables, plus a slice of non-matching
+/// messages (production streams are never 100% known).
+fn synth_stream(n_patterns: usize, total: usize) -> Vec<TokenizedMessage> {
+    let scanner = Scanner::new();
+    (0..total)
+        .map(|k| {
+            if k % 10 == 9 {
+                // Unmatched tail: same length, unknown literal.
+                scanner.scan(&format!(
+                    "svc intruder-{k} handled 7 requests from 203.0.113.9 in 0.1 ms"
+                ))
+            } else {
+                let i = k % n_patterns;
+                scanner.scan(&format!(
+                    "svc worker-{i} handled {k} requests from 10.0.{}.{} in {}.5 ms",
+                    k % 256,
+                    (k * 7) % 256,
+                    k % 90
+                ))
+            }
+        })
+        .collect()
+}
+
+fn bench_pattern_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    for &n in &[10usize, 100, 1000] {
+        let set = synth_set(n);
+        let stream = synth_stream(n, 2000);
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("match_against_learned_set", n),
+            &(&set, &stream),
+            |b, (set, stream)| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for msg in stream.iter() {
+                        if set.match_message(black_box(msg)).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_learned_openssh(c: &mut Criterion) {
+    // Learn patterns from one sample, match a fresh sample (the original
+    // recorded scenario).
     let train = generate("OpenSSH", 2000, 1);
     let test = generate("OpenSSH", 2000, 2);
     let records: Vec<LogRecord> = train
@@ -25,7 +100,7 @@ fn bench_parser(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parser");
     group.throughput(Throughput::Elements(scanned.len() as u64));
-    group.bench_function("match_against_learned_set", |b| {
+    group.bench_function("learned_openssh", |b| {
         b.iter(|| {
             let mut hits = 0usize;
             for msg in &scanned {
@@ -51,5 +126,22 @@ fn bench_parser(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parser);
-criterion_main!(benches);
+criterion_group!(benches, bench_pattern_count_scaling, bench_learned_openssh);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    // Default trajectory file, unless TESTKIT_BENCH_JSON redirected the
+    // output (as the CI smoke run does).
+    if !Criterion::json_redirected() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_parser.json"
+        );
+        match c.write_json(path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("{path}: write failed: {e}"),
+        }
+    }
+}

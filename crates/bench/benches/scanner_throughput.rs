@@ -7,9 +7,9 @@
 //! multi-line messages).
 
 use loghub_synth::{generate, DATASET_NAMES};
-use sequence_core::{Scanner, ScannerOptions};
+use sequence_core::{Scanner, ScannerOptions, TokenizedMessage};
 use std::hint::black_box;
-use testkit::bench::{criterion_group, criterion_main, Criterion, Throughput};
+use testkit::bench::{criterion_group, Criterion, Throughput};
 
 fn corpus() -> Vec<String> {
     let mut v = Vec::new();
@@ -48,8 +48,47 @@ fn bench_scanner(c: &mut Criterion) {
             tokens
         })
     });
+
+    // The allocation-lean hot-path variants: no raw copy, and (for
+    // `scan_into_reuse`) one token buffer reused across the whole stream —
+    // the shape parse-only consumers like `LogSink::ingest` use.
+    group.bench_function("parse_only", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for m in &messages {
+                tokens += default.scan_parse_only(black_box(m)).tokens.len();
+            }
+            tokens
+        })
+    });
+    group.bench_function("scan_into_reuse", |b| {
+        let mut out = TokenizedMessage::default();
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for m in &messages {
+                default.scan_into(black_box(m), &mut out);
+                tokens += out.tokens.len();
+            }
+            tokens
+        })
+    });
     group.finish();
 }
 
 criterion_group!(benches, bench_scanner);
-criterion_main!(benches);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if !Criterion::json_redirected() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_scanner.json"
+        );
+        match c.write_json(path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("{path}: write failed: {e}"),
+        }
+    }
+}

@@ -93,6 +93,7 @@ pub struct DayStats {
 pub fn simulate(config: SimConfig) -> Vec<DayStats> {
     let mut rng = Rng::seed_from_u64(config.seed);
     let scanner = Scanner::new();
+    let mut scratch = sequence_core::MatchScratch::default();
     let mut promoted: HashMap<String, PatternSet> = HashMap::new();
     let mut promoted_ids: HashSet<String> = HashSet::new();
     let mut rtg = SequenceRtg::in_memory(RtgConfig {
@@ -126,10 +127,12 @@ pub fn simulate(config: SimConfig) -> Vec<DayStats> {
                 unmatched_records.push(LogRecord::new("misc", msg));
                 continue;
             }
-            let scanned = scanner.scan(&item.message);
+            // Parse-only: the raw text is never needed again, so skip the
+            // raw copy and reuse the trie-walk scratch across the stream.
+            let scanned = scanner.scan_parse_only(&item.message);
             let hit = promoted
                 .get(&item.service)
-                .and_then(|set| set.match_message(&scanned))
+                .and_then(|set| set.match_message_with(&scanned, &mut scratch))
                 .is_some();
             if hit {
                 matched += 1;

@@ -51,12 +51,13 @@ pub fn rtg_assignments(dataset: &Dataset, variant: Variant, config: RtgConfig) -
     let scanner = sequence_core::Scanner::with_options(config.scanner);
     let sets = rtg.store_mut().load_pattern_sets().expect("load sets").0;
     let set = sets.get(dataset.name).cloned().unwrap_or_default();
+    let mut scratch = sequence_core::MatchScratch::default();
     lines
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            let msg = scanner.scan(m);
-            match set.match_message(&msg) {
+            let msg = scanner.scan_parse_only(m);
+            match set.match_message_with(&msg, &mut scratch) {
                 Some(outcome) => outcome.pattern_id,
                 None => format!("unmatched-{i}"),
             }

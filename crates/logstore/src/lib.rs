@@ -29,7 +29,7 @@ pub use aggs::{date_histogram, match_split, top_patterns, top_services, TermCoun
 pub use index::{InvertedIndex, LogEntry};
 pub use query::{search, Query};
 
-use sequence_core::{Captures, PatternSet, Scanner, TokenizedMessage};
+use sequence_core::{Captures, MatchScratch, PatternSet, Scanner, TokenizedMessage};
 
 /// The ingest façade: scans and matches each message against a pattern set
 /// (the promoted pattern database of the workflow) and stores it with
@@ -38,6 +38,7 @@ use sequence_core::{Captures, PatternSet, Scanner, TokenizedMessage};
 pub struct LogSink {
     scanner: Scanner,
     index: InvertedIndex,
+    scratch: MatchScratch,
     matched: u64,
     unmatched: u64,
 }
@@ -57,8 +58,10 @@ impl LogSink {
         timestamp: u64,
         message: &str,
     ) -> u64 {
-        let scanned: TokenizedMessage = self.scanner.scan(message);
-        let outcome = patterns.and_then(|p| p.match_message(&scanned));
+        // Parse-only scan: the raw message is stored from `message` itself,
+        // so the tokenised copy never needs to carry it.
+        let scanned: TokenizedMessage = self.scanner.scan_parse_only(message);
+        let outcome = patterns.and_then(|p| p.match_message_with(&scanned, &mut self.scratch));
         match outcome {
             Some(o) => {
                 self.matched += 1;

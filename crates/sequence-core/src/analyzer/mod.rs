@@ -244,11 +244,11 @@ impl Analyzer {
             }
         }
         let pattern = Pattern::new(elements).expect("ignore-rest only appended at the end");
-        let mut examples = Vec::new();
+        let mut examples: Vec<String> = Vec::new();
         for &i in terminal {
-            let raw = &messages[i as usize].raw;
-            if !examples.iter().any(|e| e == raw) {
-                examples.push(raw.clone());
+            let raw = messages[i as usize].source();
+            if !examples.iter().any(|e| *e == raw) {
+                examples.push(raw.into_owned());
                 if examples.len() == 3 {
                     break;
                 }

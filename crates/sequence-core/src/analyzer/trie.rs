@@ -285,7 +285,7 @@ fn key_for(tok: &Token) -> NodeKey {
     if tok.ty.is_typed() {
         NodeKey::Typed(tok.ty)
     } else {
-        NodeKey::Lit(tok.text.clone())
+        NodeKey::Lit(tok.text.to_string())
     }
 }
 

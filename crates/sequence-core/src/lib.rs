@@ -17,7 +17,9 @@
 //!    variable placeholders, yielding patterns. Key/value pairs, email
 //!    addresses and host names are detected during analysis.
 //! 3. **Parsing** ([`parser`]): matching new messages against the known
-//!    pattern set.
+//!    pattern set, through a compiled discrimination-trie index
+//!    ([`matcher`]) so the per-message cost scales with token count, not
+//!    pattern count.
 //!
 //! Sequence-RTG-specific behaviour implemented at this layer:
 //!
@@ -57,13 +59,17 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod matcher;
 pub mod parser;
 pub mod pattern;
 pub mod scanner;
+pub mod text;
 pub mod token;
 
 pub use analyzer::{Analyzer, AnalyzerOptions, DiscoveredPattern};
+pub use matcher::MatchScratch;
 pub use parser::{ParseOutcome, PatternSet};
 pub use pattern::{Captures, Pattern, PatternElement, PatternParseError};
 pub use scanner::{Scanner, ScannerOptions};
+pub use text::TokenText;
 pub use token::{Token, TokenType, TokenizedMessage};

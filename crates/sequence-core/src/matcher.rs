@@ -1,0 +1,320 @@
+//! The compiled matcher index: a discrimination trie over pattern elements.
+//!
+//! [`crate::PatternSet`] compiles every inserted pattern into this trie so
+//! that matching a message walks the trie once — O(token count × branching)
+//! — instead of scanning every same-length candidate pattern. This is the
+//! structure that keeps `match_message` fast at production pattern counts
+//! (the paper's Fig. 6/7 deployment filters the *entire* log stream through
+//! the pattern database).
+//!
+//! Layout: each node has
+//!
+//! * **literal edges**, keyed by exact token text (a literal pattern element
+//!   matches on text alone, whatever the token's scan-time type — `port 22`
+//!   mined as two literals matches the integer token `22`);
+//! * **typed-variable edges**, one slot per [`TokenType`] — `%x:integer%`
+//!   follows the `Integer` slot, the free-text `%x%` follows the `Literal`
+//!   slot, and the analysis-time refinements `%x:email%`/`%x:host%` follow
+//!   their slots *guarded* by the same text predicates the linear matcher
+//!   applies ([`crate::analyzer::is_email`] / [`crate::analyzer::is_hostname`]);
+//! * **terminal lists**: entry indices of patterns ending here, split into
+//!   exact terminals (pattern consumed the whole message) and ignore-rest
+//!   terminals (pattern prefix consumed, the rest is discarded).
+//!
+//! A message token may legally follow several edges at once (the integer
+//! token `22` follows both a `22` literal edge and an `Integer` variable
+//! edge), so the walk keeps a small frontier of live nodes rather than a
+//! single cursor. The frontier never holds duplicates: the trie is a tree
+//! and each parent's edges lead to distinct children.
+//!
+//! The walk only *finds* candidates; specificity resolution (most literal
+//! elements wins, exact beats ignore-rest, earliest insertion breaks
+//! remaining ties) stays in [`crate::PatternSet`], which guarantees
+//! bit-for-bit the same outcome as the reference linear scan — see the
+//! `matcher_equivalence` property test.
+
+use crate::analyzer::{is_email, is_hostname};
+use crate::pattern::{Pattern, PatternElement};
+use crate::token::{Token, TokenType, TOKEN_TYPE_COUNT};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-xor string hasher (the FxHash construction) for the literal
+/// edge maps. The trie walk hashes a token's text once per live frontier
+/// node, on every token of every message — with the default SipHash that
+/// single operation dominated the whole walk at small pattern counts.
+/// Hash-flooding resistance is irrelevant here (keys come from the mined
+/// patterns, not the message stream), so the cheap hash is the right trade.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// One node of the matcher trie.
+#[derive(Debug, Clone)]
+struct MatchNode {
+    /// Literal edges by exact token text.
+    literal: FxMap<String, u32>,
+    /// Typed-variable edges, indexed by [`TokenType::index`].
+    var: [Option<u32>; TOKEN_TYPE_COUNT],
+    /// Entries (indices into the owning set) whose full pattern ends here.
+    exact: Vec<u32>,
+    /// Entries whose fixed prefix ends here with an ignore-rest marker.
+    ignore: Vec<u32>,
+}
+
+impl MatchNode {
+    fn new() -> MatchNode {
+        MatchNode {
+            literal: FxMap::default(),
+            var: [None; TOKEN_TYPE_COUNT],
+            exact: Vec::new(),
+            ignore: Vec::new(),
+        }
+    }
+}
+
+/// Reusable frontier buffers for [`MatcherTrie::walk`]. Hot loops should
+/// hold one scratch per thread and pass it to
+/// [`crate::PatternSet::match_message_with`] so matching a whole stream
+/// performs no per-message frontier allocations.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    cur: Vec<u32>,
+    next: Vec<u32>,
+}
+
+/// The compiled discrimination trie over a set's pattern elements.
+#[derive(Debug, Clone)]
+pub(crate) struct MatcherTrie {
+    nodes: Vec<MatchNode>,
+}
+
+const ROOT: u32 = 0;
+
+impl Default for MatcherTrie {
+    fn default() -> Self {
+        MatcherTrie::new()
+    }
+}
+
+impl MatcherTrie {
+    pub(crate) fn new() -> MatcherTrie {
+        MatcherTrie {
+            nodes: vec![MatchNode::new()],
+        }
+    }
+
+    /// Number of allocated trie nodes (diagnostics / memory accounting).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Compile one pattern into the trie as entry `entry_idx`.
+    pub(crate) fn insert(&mut self, entry_idx: u32, pattern: &Pattern) {
+        let mut at = ROOT;
+        for el in pattern.elements() {
+            at = match el {
+                PatternElement::Literal { text, .. } => {
+                    match self.nodes[at as usize].literal.get(text.as_str()) {
+                        Some(&next) => next,
+                        None => {
+                            let next = self.push_node();
+                            self.nodes[at as usize].literal.insert(text.clone(), next);
+                            next
+                        }
+                    }
+                }
+                PatternElement::Variable { ty, .. } => {
+                    let slot = ty.index();
+                    match self.nodes[at as usize].var[slot] {
+                        Some(next) => next,
+                        None => {
+                            let next = self.push_node();
+                            self.nodes[at as usize].var[slot] = Some(next);
+                            next
+                        }
+                    }
+                }
+                PatternElement::IgnoreRest => break,
+            };
+        }
+        if pattern.has_ignore_rest() {
+            self.nodes[at as usize].ignore.push(entry_idx);
+        } else {
+            self.nodes[at as usize].exact.push(entry_idx);
+        }
+    }
+
+    fn push_node(&mut self) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(MatchNode::new());
+        id
+    }
+
+    /// Walk the trie over `tokens`, reporting every candidate entry:
+    /// `on_candidate(entry_idx, is_exact)`. Ignore-rest terminals fire at
+    /// any consumed depth (their suffix matches whatever remains); exact
+    /// terminals fire only when the whole token sequence was consumed.
+    pub(crate) fn walk<F: FnMut(u32, bool)>(
+        &self,
+        tokens: &[Token],
+        scratch: &mut MatchScratch,
+        mut on_candidate: F,
+    ) {
+        scratch.cur.clear();
+        scratch.cur.push(ROOT);
+        for &e in &self.nodes[ROOT as usize].ignore {
+            on_candidate(e, false);
+        }
+        for tok in tokens {
+            scratch.next.clear();
+            for &nid in &scratch.cur {
+                let node = &self.nodes[nid as usize];
+                // The emptiness guard skips the text hash entirely on nodes
+                // with no literal edges (common below variable edges).
+                if !node.literal.is_empty() {
+                    if let Some(&next) = node.literal.get(tok.text.as_str()) {
+                        scratch.next.push(next);
+                    }
+                }
+                if let Some(next) = node.var[tok.ty.index()] {
+                    scratch.next.push(next);
+                }
+                if tok.ty == TokenType::Literal {
+                    // Analysis-time refinements accept literal tokens whose
+                    // text satisfies the predicate (the scanner itself never
+                    // produces Email/Hostname tokens).
+                    if let Some(next) = node.var[TokenType::Email.index()] {
+                        if is_email(&tok.text) {
+                            scratch.next.push(next);
+                        }
+                    }
+                    if let Some(next) = node.var[TokenType::Hostname.index()] {
+                        if is_hostname(&tok.text) {
+                            scratch.next.push(next);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            if scratch.cur.is_empty() {
+                return;
+            }
+            for &nid in &scratch.cur {
+                for &e in &self.nodes[nid as usize].ignore {
+                    on_candidate(e, false);
+                }
+            }
+        }
+        for &nid in &scratch.cur {
+            for &e in &self.nodes[nid as usize].exact {
+                on_candidate(e, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trie_with(patterns: &[&str]) -> MatcherTrie {
+        let mut t = MatcherTrie::new();
+        for (i, p) in patterns.iter().enumerate() {
+            t.insert(i as u32, &Pattern::parse(p).unwrap());
+        }
+        t
+    }
+
+    fn candidates(t: &MatcherTrie, msg: &str) -> Vec<(u32, bool)> {
+        let scanned = crate::scanner::Scanner::new().scan_parse_only(msg);
+        let mut out = Vec::new();
+        t.walk(&scanned.tokens, &mut MatchScratch::default(), |e, exact| {
+            out.push((e, exact))
+        });
+        out
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let t = trie_with(&["session %id:integer% opened", "session %id:integer% closed"]);
+        // root + session + <integer> + {opened, closed}
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn literal_edge_matches_typed_token() {
+        // A literal `22` element must match the *integer* token `22`.
+        let t = trie_with(&["port 22"]);
+        assert_eq!(candidates(&t, "port 22"), vec![(0, true)]);
+        assert!(candidates(&t, "port 23").is_empty());
+    }
+
+    #[test]
+    fn frontier_follows_literal_and_var_edges_at_once() {
+        let t = trie_with(&["port 22", "port %p:integer%"]);
+        let mut c = candidates(&t, "port 22");
+        c.sort_unstable();
+        assert_eq!(c, vec![(0, true), (1, true)]);
+        assert_eq!(candidates(&t, "port 8080"), vec![(1, true)]);
+    }
+
+    #[test]
+    fn ignore_rest_fires_at_every_depth_including_root() {
+        let t = trie_with(&["%...%", "panic %...%"]);
+        let c = candidates(&t, "panic at the disco");
+        assert!(c.contains(&(0, false)));
+        assert!(c.contains(&(1, false)));
+        // The bare ignore-rest matches even an empty token sequence.
+        assert_eq!(candidates(&t, ""), vec![(0, false)]);
+    }
+
+    #[test]
+    fn dead_frontier_short_circuits() {
+        let t = trie_with(&["alpha beta gamma"]);
+        assert!(candidates(&t, "zzz beta gamma").is_empty());
+        assert!(candidates(&t, "alpha beta").is_empty());
+        assert!(candidates(&t, "alpha beta gamma delta").is_empty());
+    }
+
+    #[test]
+    fn email_and_hostname_edges_are_predicate_guarded() {
+        let t = trie_with(&["from %e:email%", "from %h:host%", "from %w%"]);
+        let ids = |msg: &str| {
+            candidates(&t, msg)
+                .iter()
+                .map(|&(e, _)| e)
+                .collect::<Vec<_>>()
+        };
+        let mut hit = ids("from alice@example.com");
+        hit.sort_unstable();
+        assert_eq!(hit, vec![0, 2]);
+        let mut hit = ids("from node-1.example.org");
+        hit.sort_unstable();
+        assert_eq!(hit, vec![1, 2]);
+        assert_eq!(ids("from plainword"), vec![2]);
+    }
+}

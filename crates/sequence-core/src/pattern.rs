@@ -60,9 +60,17 @@ impl PatternElement {
 }
 
 /// A mined message pattern.
+///
+/// The shape facts the matcher consults on every candidate — fixed token
+/// count and the ignore-rest flag — are computed once at construction;
+/// `match_tokens` runs on every production message, so it must not rescan
+/// the element list for them. (They are functions of `elements`, so the
+/// derived equality/hash over all fields stays consistent.)
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Pattern {
     elements: Vec<PatternElement>,
+    fixed: usize,
+    ignore_rest: bool,
 }
 
 /// The result of matching a message against a pattern: variable captures in
@@ -126,7 +134,13 @@ impl Pattern {
                 return Err(PatternParseError::MisplacedIgnoreRest);
             }
         }
-        Ok(Pattern { elements })
+        let ignore_rest = matches!(elements.last(), Some(PatternElement::IgnoreRest));
+        let fixed = elements.len() - usize::from(ignore_rest);
+        Ok(Pattern {
+            elements,
+            fixed,
+            ignore_rest,
+        })
     }
 
     /// The pattern's elements.
@@ -137,15 +151,12 @@ impl Pattern {
     /// Number of message tokens the pattern consumes before an optional
     /// ignore-rest marker.
     pub fn fixed_token_count(&self) -> usize {
-        self.elements
-            .iter()
-            .filter(|e| !matches!(e, PatternElement::IgnoreRest))
-            .count()
+        self.fixed
     }
 
     /// Whether the pattern ends with an ignore-rest marker.
     pub fn has_ignore_rest(&self) -> bool {
-        matches!(self.elements.last(), Some(PatternElement::IgnoreRest))
+        self.ignore_rest
     }
 
     /// Number of variable placeholders.
@@ -200,7 +211,7 @@ impl Pattern {
                     if !variable_accepts(*ty, tok) {
                         return None;
                     }
-                    captures.push((name.clone(), tok.text.clone()));
+                    captures.push((name.clone(), tok.text.to_string()));
                 }
                 PatternElement::IgnoreRest => break,
             }
@@ -278,7 +289,7 @@ impl Pattern {
                     tok.is_space_before
                 };
                 elements.push(PatternElement::Literal {
-                    text: tok.text.clone(),
+                    text: tok.text.to_string(),
                     space_before: sp,
                 });
             }

@@ -79,24 +79,61 @@ impl Scanner {
         self.opts
     }
 
-    /// Tokenise a message. If the message spans several lines only the first
-    /// line is scanned and the result is flagged `truncated_multiline`.
+    /// Tokenise a message, capturing the raw text (one allocation). If the
+    /// message spans several lines only the first line is scanned and the
+    /// result is flagged `truncated_multiline`.
+    ///
+    /// Use this on paths that need the original text afterwards (the
+    /// analyser stores raw examples in the pattern database). Pure matching
+    /// paths should prefer [`Scanner::scan_parse_only`] or
+    /// [`Scanner::scan_into`], which skip the raw copy.
     pub fn scan(&self, raw: &str) -> TokenizedMessage {
+        let mut out = TokenizedMessage {
+            raw: Some(raw.into()),
+            tokens: Vec::new(),
+            truncated_multiline: false,
+        };
+        self.scan_body(raw, &mut out);
+        out
+    }
+
+    /// Tokenise a message without copying the raw text — the allocation-lean
+    /// variant for the parse-only hot path (`TokenizedMessage.raw` is
+    /// `None`). Token structure is identical to [`Scanner::scan`].
+    pub fn scan_parse_only(&self, raw: &str) -> TokenizedMessage {
+        let mut out = TokenizedMessage {
+            raw: None,
+            tokens: Vec::new(),
+            truncated_multiline: false,
+        };
+        self.scan_body(raw, &mut out);
+        out
+    }
+
+    /// Tokenise a message into a caller-owned buffer, reusing its token
+    /// `Vec` allocation across calls. The raw text is not captured. This is
+    /// the zero-allocation-steady-state API for tight loops over a message
+    /// stream: tokens up to [`crate::text::TokenText::INLINE_CAP`] bytes are
+    /// stored inline, so once the buffer has grown to the stream's working
+    /// size a scan typically allocates nothing.
+    pub fn scan_into(&self, raw: &str, out: &mut TokenizedMessage) {
+        out.raw = None;
+        out.tokens.clear();
+        out.truncated_multiline = false;
+        self.scan_body(raw, out);
+    }
+
+    fn scan_body(&self, raw: &str, out: &mut TokenizedMessage) {
         let (line, truncated) = match raw.find('\n') {
             Some(pos) => (&raw[..pos], true),
             None => (raw, false),
         };
         let line = line.strip_suffix('\r').unwrap_or(line);
-        let tokens = self.scan_line(line);
-        TokenizedMessage {
-            raw: raw.to_string(),
-            tokens,
-            truncated_multiline: truncated,
-        }
+        out.truncated_multiline = truncated;
+        self.scan_line_into(line, &mut out.tokens);
     }
 
-    fn scan_line(&self, line: &str) -> Vec<Token> {
-        let mut tokens = Vec::new();
+    fn scan_line_into(&self, line: &str, tokens: &mut Vec<Token>) {
         let b = line.as_bytes();
         let mut i = 0usize;
         let mut space_before = false;
@@ -136,7 +173,7 @@ impl Scanner {
             }
             // Break punctuation: a single-character literal token.
             if general::is_break_char(c) {
-                tokens.push(Token::literal(c.to_string(), space_before));
+                tokens.push(Token::literal(c, space_before));
                 i += 1;
                 space_before = false;
                 continue;
@@ -177,7 +214,6 @@ impl Scanner {
                 tokens.push(Token::literal(&line[at..at + 1], false));
             }
         }
-        tokens
     }
 }
 
@@ -194,7 +230,7 @@ mod tests {
     }
 
     fn texts(s: &str) -> Vec<String> {
-        scan(s).iter().map(|t| t.text.clone()).collect()
+        scan(s).iter().map(|t| t.text.to_string()).collect()
     }
 
     #[test]

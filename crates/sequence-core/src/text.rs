@@ -1,0 +1,310 @@
+//! Small-string storage for token text.
+//!
+//! Log tokens are overwhelmingly short — words, numbers, single punctuation
+//! characters. Storing each one in a heap-allocated `String` makes the
+//! scanner's hot path allocate once per token, which dominates the parse-only
+//! cost at production message rates. [`TokenText`] keeps any text of up to
+//! [`TokenText::INLINE_CAP`] bytes inline (the same 24-byte footprint as a
+//! `String`) and only heap-allocates for longer texts, so tokenising a
+//! typical message performs zero text allocations.
+//!
+//! The type behaves like a `&str` wherever it matters: it derefs to `str`,
+//! compares and hashes exactly like its text (including cross-type equality
+//! with `str` and `String`), and orders lexicographically.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// Token text with inline storage for short strings.
+#[derive(Clone)]
+pub struct TokenText(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to `INLINE_CAP` bytes stored in place.
+    Inline {
+        len: u8,
+        buf: [u8; TokenText::INLINE_CAP],
+    },
+    /// Longer texts fall back to one heap allocation.
+    Heap(Box<str>),
+}
+
+impl TokenText {
+    /// Maximum byte length stored without a heap allocation. Chosen so the
+    /// whole struct stays at 24 bytes — the size of a `String`.
+    pub const INLINE_CAP: usize = 22;
+
+    /// Create from a string slice, inlining when it fits.
+    pub fn new(s: &str) -> TokenText {
+        if s.len() <= Self::INLINE_CAP {
+            let mut buf = [0u8; Self::INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            TokenText(Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            TokenText(Repr::Heap(s.into()))
+        }
+    }
+
+    /// The text as a string slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Inline { len, buf } => {
+                // Inline bytes are always copied whole from a valid &str.
+                std::str::from_utf8(&buf[..*len as usize]).expect("inline bytes are UTF-8")
+            }
+            Repr::Heap(s) => s,
+        }
+    }
+
+    /// Byte length of the text.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(s) => s.len(),
+        }
+    }
+
+    /// `true` when the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the text is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+
+    /// Convert into an owned `String` (allocates for inline texts).
+    pub fn into_string(self) -> String {
+        match self.0 {
+            Repr::Inline { .. } => self.as_str().to_string(),
+            Repr::Heap(s) => s.into_string(),
+        }
+    }
+}
+
+impl Deref for TokenText {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for TokenText {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for TokenText {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Default for TokenText {
+    fn default() -> Self {
+        TokenText::new("")
+    }
+}
+
+impl fmt::Debug for TokenText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for TokenText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for TokenText {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for TokenText {}
+
+impl Hash for TokenText {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `str`'s hash so `Borrow<str>`-keyed map lookups
+        // work.
+        self.as_str().hash(state)
+    }
+}
+
+impl PartialOrd for TokenText {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TokenText {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl From<&str> for TokenText {
+    fn from(s: &str) -> Self {
+        TokenText::new(s)
+    }
+}
+
+impl From<&String> for TokenText {
+    fn from(s: &String) -> Self {
+        TokenText::new(s)
+    }
+}
+
+impl From<String> for TokenText {
+    fn from(s: String) -> Self {
+        if s.len() <= Self::INLINE_CAP {
+            TokenText::new(&s)
+        } else {
+            TokenText(Repr::Heap(s.into_boxed_str()))
+        }
+    }
+}
+
+impl From<char> for TokenText {
+    fn from(c: char) -> Self {
+        let mut buf = [0u8; 4];
+        TokenText::new(c.encode_utf8(&mut buf))
+    }
+}
+
+impl From<TokenText> for String {
+    fn from(t: TokenText) -> String {
+        t.into_string()
+    }
+}
+
+impl PartialEq<str> for TokenText {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for TokenText {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for TokenText {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<TokenText> for str {
+    fn eq(&self, other: &TokenText) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<TokenText> for &str {
+    fn eq(&self, other: &TokenText) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<TokenText> for String {
+    fn eq(&self, other: &TokenText) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn struct_is_string_sized() {
+        assert_eq!(
+            std::mem::size_of::<TokenText>(),
+            std::mem::size_of::<String>()
+        );
+    }
+
+    #[test]
+    fn short_texts_are_inline() {
+        let t = TokenText::new("accepted");
+        assert!(t.is_inline());
+        assert_eq!(t.as_str(), "accepted");
+        assert_eq!(t.len(), 8);
+        let max = "x".repeat(TokenText::INLINE_CAP);
+        assert!(TokenText::new(&max).is_inline());
+    }
+
+    #[test]
+    fn long_texts_heap_allocate_and_round_trip() {
+        let long = "x".repeat(TokenText::INLINE_CAP + 1);
+        let t = TokenText::new(&long);
+        assert!(!t.is_inline());
+        assert_eq!(t.as_str(), long);
+        assert_eq!(t.into_string(), long);
+    }
+
+    #[test]
+    fn equality_and_ordering_match_str() {
+        let a = TokenText::new("alpha");
+        let b = TokenText::new("beta");
+        assert_eq!(a, TokenText::new("alpha"));
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a, "alpha");
+        assert_eq!("alpha", a);
+        assert_eq!(a, "alpha".to_string());
+        assert_eq!("alpha".to_string(), a);
+    }
+
+    #[test]
+    fn hash_agrees_with_str() {
+        fn h<T: Hash + ?Sized>(v: &T) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&TokenText::new("port")), h("port"));
+        let long = "y".repeat(40);
+        assert_eq!(h(&TokenText::new(&long)), h(long.as_str()));
+    }
+
+    #[test]
+    fn map_lookup_via_borrow() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(TokenText::new("key"), 1);
+        assert_eq!(m.get("key"), Some(&1));
+    }
+
+    #[test]
+    fn unicode_inline_boundary() {
+        let t = TokenText::from('é');
+        assert!(t.is_inline());
+        assert_eq!(t.as_str(), "é");
+        let multi = "étoile";
+        assert_eq!(TokenText::new(multi), *multi);
+    }
+
+    #[test]
+    fn conversions() {
+        let s: String = TokenText::new("abc").into();
+        assert_eq!(s, "abc");
+        assert_eq!(TokenText::from("x".to_string()), "x");
+        assert_eq!(TokenText::from(&"y".to_string()), "y");
+        assert_eq!(TokenText::default(), "");
+        assert!(TokenText::default().is_empty());
+    }
+}

@@ -6,8 +6,13 @@
 //! token was preceded by whitespace in the original message
 //! (`is_space_before`). The latter is what allows Sequence-RTG to reconstruct
 //! patterns with the exact spacing of the source message instead of blindly
-//! inserting a space between every pair of tokens (limitation 3 in the paper).
+//! inserting a space between all tokens (limitation 3 in the paper).
+//!
+//! Token text is stored as a [`TokenText`] small string: texts up to 22 bytes
+//! live inline, so scanning a typical message allocates nothing per token.
 
+use crate::text::TokenText;
+use std::borrow::Cow;
 use std::fmt;
 
 /// The type of a token, as determined by the scanner's finite state machines
@@ -50,11 +55,20 @@ pub enum TokenType {
     Hostname,
 }
 
+/// Number of [`TokenType`] variants (used by the matcher's typed-edge table).
+pub(crate) const TOKEN_TYPE_COUNT: usize = 12;
+
 impl TokenType {
     /// `true` for every type other than [`TokenType::Literal`], i.e. token
     /// types that the analyser treats as variables without further evidence.
     pub fn is_typed(self) -> bool {
         self != TokenType::Literal
+    }
+
+    /// A dense index in `0..TOKEN_TYPE_COUNT`, stable within a build; used to
+    /// key fixed-size per-type tables in the matcher.
+    pub(crate) fn index(self) -> usize {
+        self as usize
     }
 
     /// The lower-case name used inside `%...%` placeholders of the textual
@@ -106,7 +120,7 @@ impl fmt::Display for TokenType {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Token {
     /// The exact text of the token as it appeared in the message.
-    pub text: String,
+    pub text: TokenText,
     /// The token's type as determined at scan time.
     pub ty: TokenType,
     /// Whether the token was preceded by whitespace in the original message.
@@ -119,7 +133,7 @@ pub struct Token {
 
 impl Token {
     /// Create a literal token.
-    pub fn literal(text: impl Into<String>, is_space_before: bool) -> Token {
+    pub fn literal(text: impl Into<TokenText>, is_space_before: bool) -> Token {
         Token {
             text: text.into(),
             ty: TokenType::Literal,
@@ -128,7 +142,7 @@ impl Token {
     }
 
     /// Create a token of an arbitrary type.
-    pub fn new(text: impl Into<String>, ty: TokenType, is_space_before: bool) -> Token {
+    pub fn new(text: impl Into<TokenText>, ty: TokenType, is_space_before: bool) -> Token {
         Token {
             text: text.into(),
             ty,
@@ -137,11 +151,20 @@ impl Token {
     }
 }
 
-/// A scanned message: the original text plus its token sequence.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A scanned message: its token sequence, plus (optionally) the original
+/// text.
+///
+/// The parse-only hot path — matching a production stream against the known
+/// pattern database — needs the tokens but never the raw copy, so
+/// [`crate::Scanner::scan_parse_only`] leaves `raw` as `None` and saves one
+/// full-message allocation per record. Paths that store examples (the
+/// analyser, the pattern database) scan with [`crate::Scanner::scan`], which
+/// captures the raw text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TokenizedMessage {
-    /// The unaltered message text.
-    pub raw: String,
+    /// The unaltered message text, when captured at scan time; `None` on the
+    /// allocation-lean parse-only path.
+    pub raw: Option<Box<str>>,
     /// The scanner's token sequence for (the first line of) the message.
     pub tokens: Vec<Token>,
     /// Whether the original message contained a line break and was truncated
@@ -151,12 +174,32 @@ pub struct TokenizedMessage {
 }
 
 impl TokenizedMessage {
+    /// The captured raw text, if the message was scanned with raw capture.
+    pub fn raw_text(&self) -> Option<&str> {
+        self.raw.as_deref()
+    }
+
+    /// The best available source text: the captured raw message, or a
+    /// reconstruction from the tokens when the raw copy was skipped.
+    pub fn source(&self) -> Cow<'_, str> {
+        match &self.raw {
+            Some(raw) => Cow::Borrowed(raw),
+            None => Cow::Owned(self.reconstruct()),
+        }
+    }
+
     /// Reconstruct the message text from the tokens, using `is_space_before`
     /// to decide where a space goes. For single-spaced messages this is the
     /// exact original text (verified by property tests); runs of whitespace
     /// collapse to a single space.
     pub fn reconstruct(&self) -> String {
-        let mut out = String::with_capacity(self.raw.len());
+        let cap = self
+            .tokens
+            .iter()
+            .map(|t| t.text.len() + 1)
+            .sum::<usize>()
+            .saturating_sub(1);
+        let mut out = String::with_capacity(cap);
         for (i, tok) in self.tokens.iter().enumerate() {
             if i > 0 && tok.is_space_before {
                 out.push(' ');
@@ -193,11 +236,16 @@ mod tests {
             TokenType::Email,
             TokenType::Hostname,
         ];
+        assert_eq!(all.len(), TOKEN_TYPE_COUNT);
+        let mut seen = [false; TOKEN_TYPE_COUNT];
         for ty in all {
             assert_eq!(
                 TokenType::from_placeholder_name(ty.placeholder_name()),
                 Some(ty)
             );
+            assert!(ty.index() < TOKEN_TYPE_COUNT);
+            assert!(!seen[ty.index()], "duplicate type index");
+            seen[ty.index()] = true;
         }
         assert_eq!(TokenType::from_placeholder_name("nonsense"), None);
     }
@@ -212,7 +260,7 @@ mod tests {
     #[test]
     fn reconstruct_uses_space_before() {
         let msg = TokenizedMessage {
-            raw: "a b=c".to_string(),
+            raw: Some("a b=c".into()),
             tokens: vec![
                 Token::literal("a", false),
                 Token::literal("b", true),
@@ -222,12 +270,25 @@ mod tests {
             truncated_multiline: false,
         };
         assert_eq!(msg.reconstruct(), "a b=c");
+        assert_eq!(msg.raw_text(), Some("a b=c"));
+        assert_eq!(msg.source(), "a b=c");
+    }
+
+    #[test]
+    fn source_falls_back_to_reconstruction() {
+        let msg = TokenizedMessage {
+            raw: None,
+            tokens: vec![Token::literal("x", false), Token::literal("y", true)],
+            truncated_multiline: false,
+        };
+        assert_eq!(msg.raw_text(), None);
+        assert_eq!(msg.source(), "x y");
     }
 
     #[test]
     fn token_count() {
         let msg = TokenizedMessage {
-            raw: "x y".into(),
+            raw: Some("x y".into()),
             tokens: vec![Token::literal("x", false), Token::literal("y", true)],
             truncated_multiline: false,
         };

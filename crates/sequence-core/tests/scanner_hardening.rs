@@ -8,7 +8,7 @@ fn scan_types(msg: &str) -> Vec<(String, TokenType)> {
         .scan(msg)
         .tokens
         .into_iter()
-        .map(|t| (t.text, t.ty))
+        .map(|t| (t.text.to_string(), t.ty))
         .collect()
 }
 

@@ -15,7 +15,7 @@ use crate::config::RtgConfig;
 use crate::record::LogRecord;
 use crate::semiconst;
 use patterndb::{PatternStore, StoreError};
-use sequence_core::{Analyzer, PatternSet, Scanner, TokenizedMessage};
+use sequence_core::{Analyzer, MatchScratch, PatternSet, Scanner, TokenizedMessage};
 use std::collections::HashMap;
 
 /// Summary of one batch run, for operator visibility and the experiments.
@@ -72,6 +72,10 @@ pub struct SequenceRtg {
     pub(crate) store: PatternStore,
     /// In-memory per-service pattern sets, mirroring the store.
     pub(crate) sets: HashMap<String, PatternSet>,
+    /// Reusable trie-walk buffers for the parse step (one engine, one
+    /// thread): parsing a whole batch performs no per-message frontier
+    /// allocations.
+    scratch: MatchScratch,
 }
 
 impl SequenceRtg {
@@ -85,6 +89,7 @@ impl SequenceRtg {
             analyzer: Analyzer::with_options(config.analyzer),
             store,
             sets,
+            scratch: MatchScratch::default(),
         })
     }
 
@@ -248,11 +253,12 @@ impl SequenceRtg {
         let mut match_counts: HashMap<String, u64> = HashMap::new();
         {
             let set = self.sets.get(service);
+            let scratch = &mut self.scratch;
             for (i, msg) in scanned.iter().enumerate() {
                 if msg.tokens.is_empty() {
                     continue;
                 }
-                match set.and_then(|s| s.match_message(msg)) {
+                match set.and_then(|s| s.match_message_with(msg, scratch)) {
                     Some(outcome) => {
                         *match_counts.entry(outcome.pattern_id).or_insert(0) += 1;
                         report.matched_known += 1;

@@ -14,7 +14,7 @@ use crate::record::LogRecord;
 use crate::semiconst;
 use patterndb::StoreError;
 use sequence_core::analyzer::DiscoveredPattern;
-use sequence_core::TokenizedMessage;
+use sequence_core::{MatchScratch, TokenizedMessage};
 use std::collections::HashMap;
 
 /// What one worker produces for one service.
@@ -73,6 +73,9 @@ impl SequenceRtg {
             for shard in &shards {
                 handles.push(scope.spawn(move || {
                     let mut results = Vec::new();
+                    // One trie-walk scratch per worker thread, reused across
+                    // every message the shard parses.
+                    let mut scratch = MatchScratch::default();
                     for (service, records) in shard {
                         let mut svc_report = BatchReport::default();
                         let mut scanned: Vec<TokenizedMessage> = Vec::with_capacity(records.len());
@@ -94,7 +97,7 @@ impl SequenceRtg {
                             if msg.tokens.is_empty() {
                                 continue;
                             }
-                            match set.and_then(|s| s.match_message(&msg)) {
+                            match set.and_then(|s| s.match_message_with(&msg, &mut scratch)) {
                                 Some(outcome) => {
                                     *match_counts.entry(outcome.pattern_id).or_insert(0) += 1;
                                     svc_report.matched_known += 1;

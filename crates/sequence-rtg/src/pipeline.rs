@@ -4,7 +4,9 @@
 //! Sequence-RTG's standard input; Sequence-RTG buffers them and runs one
 //! analysis per full batch. [`Pipeline`] is that loop as a reusable
 //! component: feed records in, get a [`BatchReport`] back whenever a batch
-//! completes.
+//! completes. The parse-first step inside each batch runs on the engine's
+//! compiled matcher index (`sequence_core::matcher`), so pipeline throughput
+//! stays flat as the pattern database grows.
 
 use crate::analyze_by_service::{BatchReport, SequenceRtg};
 use crate::record::LogRecord;

@@ -80,7 +80,7 @@ fn try_split(
         let mut groups: BTreeMap<String, Vec<u32>> = BTreeMap::new();
         for &mi in &d.member_indices {
             groups
-                .entry(messages[mi as usize].tokens[pos].text.clone())
+                .entry(messages[mi as usize].tokens[pos].text.to_string())
                 .or_default()
                 .push(mi);
         }
@@ -99,11 +99,11 @@ fn try_split(
                 space_before,
             };
             let pattern = Pattern::new(els).expect("ignore-rest position unchanged");
-            let mut examples = Vec::new();
+            let mut examples: Vec<String> = Vec::new();
             for &mi in &members {
-                let raw = &messages[mi as usize].raw;
-                if !examples.iter().any(|e| e == raw) {
-                    examples.push(raw.clone());
+                let raw = messages[mi as usize].source();
+                if !examples.iter().any(|e| *e == raw) {
+                    examples.push(raw.into_owned());
                     if examples.len() == 3 {
                         break;
                     }

@@ -125,11 +125,14 @@ impl BenchReport {
     }
 
     fn to_json(&self) -> String {
-        let throughput = match self.throughput {
+        let mut throughput = match self.throughput {
             Some(Throughput::Elements(n)) => format!(r#","elements":{n}"#),
             Some(Throughput::Bytes(n)) => format!(r#","bytes":{n}"#),
             None => String::new(),
         };
+        if let Some(per_sec) = self.throughput_per_sec() {
+            throughput.push_str(&format!(r#","per_sec":{per_sec:.1}"#));
+        }
         format!(
             r#"{{"id":"{}","samples":{},"min_ns":{:.1},"mean_ns":{:.1},"median_ns":{:.1},"p95_ns":{:.1}{}}}"#,
             self.id,
@@ -207,16 +210,29 @@ impl Criterion {
     pub fn final_summary(&mut self) {
         println!("\n{} benchmark(s) measured", self.reports.len());
         if let Ok(path) = std::env::var("TESTKIT_BENCH_JSON") {
-            let mut out = String::new();
-            for r in &self.reports {
-                out.push_str(&r.to_json());
-                out.push('\n');
-            }
-            match std::fs::write(&path, out) {
+            match self.write_json(&path) {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => eprintln!("TESTKIT_BENCH_JSON={path}: write failed: {e}"),
             }
         }
+    }
+
+    /// Write all collected reports as JSON lines to `path`. Benches call
+    /// this after [`Criterion::final_summary`] to record their default
+    /// trajectory file (e.g. `results/BENCH_parser.json`) when
+    /// `TESTKIT_BENCH_JSON` did not already redirect the output.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Whether `TESTKIT_BENCH_JSON` redirected this run's JSON output.
+    pub fn json_redirected() -> bool {
+        std::env::var_os("TESTKIT_BENCH_JSON").is_some()
     }
 }
 

@@ -89,7 +89,7 @@ fn scanner_total_and_deterministic() {
         let b = Scanner::new().scan(msg);
         prop_assert_eq!(&a, &b);
         let ext = Scanner::with_options(ScannerOptions::extended()).scan(msg);
-        prop_assert_eq!(&ext.raw, msg);
+        prop_assert_eq!(ext.raw_text().expect("scan() keeps raw"), msg.as_str());
         Ok(())
     });
 }
