@@ -20,14 +20,68 @@ echo "==> bench smoke (1 sample, JSON to a scratch file)"
 # One warm-up + one sample per benchmark: proves the bench binaries run and
 # emit well-formed JSON without touching the recorded results/ trajectories.
 smoke_json=$(mktemp)
-trap 'rm -f "${smoke_json}"' EXIT
+seqd_log=$(mktemp)
+seqd_store=$(mktemp -d)
+trap 'rm -rf "${smoke_json}" "${seqd_log}" "${seqd_log}.loadgen" "${seqd_store}"
+      [[ -n "${seqd_pid:-}" ]] && kill "${seqd_pid}" 2>/dev/null || true' EXIT
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench parser_throughput >/dev/null
 grep -q '"id":"parser/match_against_learned_set/1000"' "${smoke_json}"
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench scanner_throughput >/dev/null
 grep -q '"id":"scanner/parse_only"' "${smoke_json}"
+TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
+  cargo bench -q --offline -p bench --bench seqd_throughput >/dev/null
+grep -q '"id":"seqd/ingest_tcp"' "${smoke_json}"
 echo "    bench smoke OK"
+
+echo "==> bench regression gate (recorded parser trajectory vs baseline)"
+# Guard the PR-over-PR perf record: the current results/BENCH_parser.json
+# must not have regressed more than 30% in elem/s against the frozen
+# baseline. Rates are recomputed from elements and median_ns because the
+# baseline recording predates the per_sec field.
+bench_rates() {
+  sed -n 's/.*"id":"\([^"]*\)".*"median_ns":\([0-9.]*\).*"elements":\([0-9.]*\).*/\1 \2 \3/p' "$1" \
+    | awk '{printf "%s %.1f\n", $1, $3 * 1e9 / $2}'
+}
+bench_rates results/BENCH_parser.baseline.json | sort > "${smoke_json}.base"
+bench_rates results/BENCH_parser.json | sort > "${smoke_json}.cur"
+join "${smoke_json}.base" "${smoke_json}.cur" | awk '
+  {
+    ratio = $3 / $2
+    printf "    %-45s %12.0f -> %12.0f elem/s (x%.2f)\n", $1, $2, $3, ratio
+    if (ratio < 0.7) { bad = 1 }
+  }
+  END {
+    if (bad) { print "    REGRESSION: >30% drop vs baseline" > "/dev/stderr"; exit 1 }
+  }'
+rm -f "${smoke_json}.base" "${smoke_json}.cur"
+echo "    regression gate OK"
+
+echo "==> seqd smoke (start -> ingest -> /healthz -> shutdown)"
+./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 1000 \
+  --store "${seqd_store}/store" 2> "${seqd_log}" &
+seqd_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${seqd_log}")
+  [[ -n "${port}" ]] && break
+  sleep 0.1
+done
+[[ -n "${port}" ]] || { echo "seqd did not come up" >&2; cat "${seqd_log}" >&2; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/${port}"
+printf 'GET /healthz HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+head -n1 <&3 | grep -q "200 OK"
+exec 3>&- 3<&-
+# To a file, not a pipe: grep -q would close the pipe on first match and the
+# load generator's later status lines would die on EPIPE before the shutdown
+# request goes out.
+./target/release/seqd-loadgen --addr "127.0.0.1:${port}" --records 2000 --shutdown \
+  > "${seqd_log}.loadgen"
+grep -q '"received":2000,"accepted":2000' "${seqd_log}.loadgen"
+wait "${seqd_pid}"
+seqd_pid=""
+echo "    seqd smoke OK"
 
 echo "==> dependency audit: workspace crates only"
 # Every package cargo can see must live in this repository. A single

@@ -1,0 +1,101 @@
+//! Daemon ingest throughput: NDJSON over a real loopback socket, through
+//! the router and shard queues, matched against a published pattern set.
+//!
+//! The daemon is started over a pre-mined store (the steady-state posture:
+//! patterns already known, re-mining quiescent) with a batch size large
+//! enough that no flush fires mid-measurement, so the numbers isolate the
+//! serving path — socket read, JSON parse, route, queue, scan, trie match —
+//! exactly what bounds sustained production throughput. One element = one
+//! log record, measured from the first byte written until the shard workers
+//! have fully processed the wave (receipt + `/stats` drain poll).
+//!
+//! JSON lands in `results/BENCH_seqd.json` for the PR-over-PR trajectory.
+
+use loghub_synth::{generate_stream, CorpusConfig};
+use patterndb::PatternStore;
+use seqd::loadgen;
+use seqd::server::{start, SeqdConfig};
+use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+use std::net::SocketAddr;
+use std::time::Duration;
+use testkit::bench::{criterion_group, Criterion, Throughput};
+
+const WAVE: usize = 5_000;
+
+fn corpus(seed: u64) -> Vec<LogRecord> {
+    generate_stream(CorpusConfig {
+        services: 25,
+        total: WAVE,
+        seed,
+    })
+    .into_iter()
+    .map(|item| LogRecord::new(item.service, item.message))
+    .collect()
+}
+
+/// Records fully processed so far (matched + unmatched), via `/stats`.
+fn processed(addr: SocketAddr) -> u64 {
+    let stats = loadgen::control_get(addr, "/stats").expect("/stats");
+    let v = jsonlite::parse(&stats).expect("stats json");
+    let field = |k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0) as u64;
+    field("matched") + field("unmatched")
+}
+
+fn bench_socket_ingest(c: &mut Criterion) {
+    // Pre-mine the pattern store offline so the daemon starts in steady
+    // state and the bench never pays for re-mining.
+    let mut miner = SequenceRtg::in_memory(RtgConfig {
+        save_threshold: 0,
+        ..RtgConfig::default()
+    });
+    miner.analyze_by_service(&corpus(31), 0).expect("pre-mine");
+    let store = std::mem::replace(miner.store_mut(), PatternStore::in_memory());
+
+    let config = SeqdConfig {
+        shards: 2,
+        // Far beyond anything the bench accumulates: no mid-wave flush.
+        batch_size: 100 * WAVE,
+        queue_capacity: 2 * WAVE,
+        ..SeqdConfig::default()
+    };
+    let handle = start(store, config, "127.0.0.1:0").expect("start daemon");
+    let addr = handle.addr();
+
+    // A fresh wave from the same services: mostly matched, like production.
+    let lines: Vec<String> = corpus(62).iter().map(|r| r.to_json_line()).collect();
+
+    let mut group = c.benchmark_group("seqd");
+    group.throughput(Throughput::Elements(WAVE as u64));
+    group.bench_function("ingest_tcp", |b| {
+        b.iter(|| {
+            let before = processed(addr);
+            let receipt =
+                loadgen::replay_lines(addr, lines.iter().map(|s| s.as_str())).expect("replay");
+            assert_eq!(receipt.accepted, WAVE as u64, "receipt: {receipt:?}");
+            // Tight drain poll: the wave counts only once the workers have
+            // matched every record.
+            while processed(addr) < before + WAVE as u64 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    });
+    group.finish();
+
+    handle.initiate_shutdown();
+    handle.join().expect("drain");
+}
+
+criterion_group!(benches, bench_socket_ingest);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+    if !Criterion::json_redirected() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_seqd.json");
+        match c.write_json(path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("{path}: write failed: {e}"),
+        }
+    }
+}

@@ -230,6 +230,28 @@ impl PatternStore {
         Ok(())
     }
 
+    /// Bulk variant of [`PatternStore::record_matches`] for hot loops: all
+    /// updates run inside one transaction, so a flush of N matched patterns
+    /// costs one WAL commit instead of N. Must not be called while another
+    /// transaction is open (it manages its own).
+    pub fn record_matches_bulk(
+        &mut self,
+        counts: &[(String, u64)],
+        now: u64,
+    ) -> Result<(), StoreError> {
+        if counts.is_empty() {
+            return Ok(());
+        }
+        self.begin()?;
+        for (id, n) in counts {
+            if let Err(e) = self.record_matches(id, *n, now) {
+                self.rollback()?;
+                return Err(e);
+            }
+        }
+        self.commit()
+    }
+
     /// All stored patterns (optionally restricted to one service), weakest
     /// first by count — convenient for review.
     pub fn patterns(&mut self, service: Option<&str>) -> Result<Vec<StoredPattern>, StoreError> {
@@ -439,6 +461,26 @@ mod tests {
         let p = &store.patterns(None).unwrap()[0];
         assert_eq!(p.count, 53);
         assert_eq!(p.last_matched, 999);
+    }
+
+    #[test]
+    fn record_matches_bulk_updates_every_row_in_one_transaction() {
+        let mut store = PatternStore::in_memory();
+        let ds = discover(&["alpha one", "beta two", "gamma three"]);
+        let mut ids = Vec::new();
+        for d in &ds {
+            ids.push(store.upsert_discovered("svc", d, 10).unwrap().0);
+        }
+        let counts: Vec<(String, u64)> = ids.iter().map(|id| (id.clone(), 7u64)).collect();
+        store.record_matches_bulk(&counts, 99).unwrap();
+        for p in store.patterns(Some("svc")).unwrap() {
+            assert_eq!(p.count, 1 + 7);
+            assert_eq!(p.last_matched, 99);
+        }
+        // Empty input is a no-op (and must not open a stray transaction).
+        store.record_matches_bulk(&[], 100).unwrap();
+        store.begin().unwrap();
+        store.commit().unwrap();
     }
 
     #[test]

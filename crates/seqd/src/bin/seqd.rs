@@ -1,0 +1,90 @@
+//! `seqd` — run the streaming pattern-mining daemon.
+//!
+//! ```text
+//! seqd [--addr HOST:PORT] [--store PATH] [--shards N] [--batch-size N]
+//!      [--queue-capacity N]
+//! ```
+//!
+//! With `--store` the pattern database is loaded from (and checkpointed back
+//! to) the given path; otherwise the daemon runs on an in-memory store and
+//! mined patterns live only for the process lifetime. The process exits after
+//! a `POST /shutdown` completes the drain.
+
+use patterndb::PatternStore;
+use seqd::server::{start, SeqdConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7464".to_string();
+    let mut store_path: Option<String> = None;
+    let mut config = SeqdConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--store" => store_path = Some(value("--store")),
+            "--shards" => config.shards = parse(&value("--shards"), "--shards"),
+            "--batch-size" => config.batch_size = parse(&value("--batch-size"), "--batch-size"),
+            "--queue-capacity" => {
+                config.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: seqd [--addr HOST:PORT] [--store PATH] [--shards N] \
+                     [--batch-size N] [--queue-capacity N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown flag: {other}")),
+        }
+    }
+
+    let store = match &store_path {
+        Some(path) => match PatternStore::open(path) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot open store {path}: {e}")),
+        },
+        None => PatternStore::in_memory(),
+    };
+
+    let handle = match start(store, config, &addr) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("cannot start daemon on {addr}: {e}")),
+    };
+    eprintln!(
+        "seqd: listening on {} ({} shards, batch {}, store {})",
+        handle.addr(),
+        config.shards,
+        config.batch_size,
+        store_path.as_deref().unwrap_or("in-memory"),
+    );
+
+    match handle.join() {
+        Ok(ops) => {
+            eprintln!(
+                "seqd: drained — ingested {} matched {} unmatched {} rejected {} malformed {}",
+                ops.ingested, ops.matched, ops.unmatched, ops.rejected, ops.malformed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("seqd: shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(s: &str, flag: &str) -> usize {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got {s:?}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("seqd: {msg}");
+    std::process::exit(2);
+}

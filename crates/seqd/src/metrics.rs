@@ -1,0 +1,245 @@
+//! Shared operation counters and the Prometheus-style text rendering.
+//!
+//! One [`Ops`] struct serves both the live daemon (`GET /metrics`) and the
+//! `evalharness` production simulation, so the two report *identical metric
+//! names* — a dashboard built against the simulator works unchanged against
+//! a real deployment.
+//!
+//! All counters are relaxed atomics: they are monotonic event counts with no
+//! ordering relationship to each other, and the hot ingest path must not pay
+//! for synchronisation it does not need. The one invariant that matters —
+//! `ingested = matched + unmatched + rejected + malformed` — holds exactly
+//! once the queues are drained, and is asserted that way by the tests.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Monotonic operation counters for one ingest plane.
+#[derive(Debug, Default)]
+pub struct Ops {
+    /// Non-empty stream lines received (accepted + rejected + malformed).
+    pub ingested: AtomicU64,
+    /// Records matched to an already-known pattern at ingest time.
+    pub matched: AtomicU64,
+    /// Records that matched nothing and joined the re-mining residue.
+    pub unmatched: AtomicU64,
+    /// Records refused because a shard queue stayed full past the
+    /// backpressure timeout (or the daemon was shutting down).
+    pub rejected: AtomicU64,
+    /// Lines that were not valid `{service, message}` JSON.
+    pub malformed: AtomicU64,
+    /// Pattern-set publications (one per service per re-mine).
+    pub swaps: AtomicU64,
+    /// Re-mining runs (residue flushes through the analyser).
+    pub remines: AtomicU64,
+    /// Total nanoseconds spent re-mining.
+    pub remine_ns_total: AtomicU64,
+    /// Nanoseconds spent in the most recent re-mine.
+    pub remine_ns_last: AtomicU64,
+}
+
+impl Ops {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Ops {
+        Ops::default()
+    }
+
+    /// Add one to a counter (relaxed).
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Add `n` to a counter (relaxed).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Relaxed);
+    }
+
+    /// Record one re-mining run of the given duration.
+    pub fn record_remine(&self, elapsed: std::time::Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        self.remines.fetch_add(1, Relaxed);
+        self.remine_ns_total.fetch_add(ns, Relaxed);
+        self.remine_ns_last.store(ns, Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (each counter read relaxed).
+    pub fn snapshot(&self) -> OpsSnapshot {
+        OpsSnapshot {
+            ingested: self.ingested.load(Relaxed),
+            matched: self.matched.load(Relaxed),
+            unmatched: self.unmatched.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            malformed: self.malformed.load(Relaxed),
+            swaps: self.swaps.load(Relaxed),
+            remines: self.remines.load(Relaxed),
+            remine_ns_total: self.remine_ns_total.load(Relaxed),
+            remine_ns_last: self.remine_ns_last.load(Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`Ops`] for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpsSnapshot {
+    /// See [`Ops::ingested`].
+    pub ingested: u64,
+    /// See [`Ops::matched`].
+    pub matched: u64,
+    /// See [`Ops::unmatched`].
+    pub unmatched: u64,
+    /// See [`Ops::rejected`].
+    pub rejected: u64,
+    /// See [`Ops::malformed`].
+    pub malformed: u64,
+    /// See [`Ops::swaps`].
+    pub swaps: u64,
+    /// See [`Ops::remines`].
+    pub remines: u64,
+    /// See [`Ops::remine_ns_total`].
+    pub remine_ns_total: u64,
+    /// See [`Ops::remine_ns_last`].
+    pub remine_ns_last: u64,
+}
+
+impl OpsSnapshot {
+    /// Whether every ingested line is accounted for. Only guaranteed after
+    /// the shard queues drain — in flight, `ingested` runs ahead.
+    pub fn reconciles(&self) -> bool {
+        self.ingested == self.matched + self.unmatched + self.rejected + self.malformed
+    }
+
+    /// Records still queued (or mid-processing) between ingest and shards.
+    pub fn in_flight(&self) -> u64 {
+        self.ingested
+            .saturating_sub(self.matched + self.unmatched + self.rejected + self.malformed)
+    }
+
+    /// Render the Prometheus text exposition format. `queue_depths` become
+    /// one `seqd_queue_depth{shard="i"}` gauge per shard; pass `&[]` from
+    /// contexts without queues (e.g. the production simulation).
+    pub fn render_prometheus(&self, queue_depths: &[usize]) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "seqd_ingested_total",
+            "Non-empty stream lines received",
+            self.ingested,
+        );
+        counter(
+            "seqd_matched_total",
+            "Records matched to a known pattern",
+            self.matched,
+        );
+        counter(
+            "seqd_unmatched_total",
+            "Records sent to the re-mining residue",
+            self.unmatched,
+        );
+        counter(
+            "seqd_rejected_total",
+            "Records refused by backpressure",
+            self.rejected,
+        );
+        counter(
+            "seqd_malformed_total",
+            "Lines that were not valid records",
+            self.malformed,
+        );
+        counter(
+            "seqd_pattern_swaps_total",
+            "Pattern-set publications",
+            self.swaps,
+        );
+        counter(
+            "seqd_remine_runs_total",
+            "Residue re-mining runs",
+            self.remines,
+        );
+        out.push_str(&format!(
+            "# HELP seqd_remine_seconds_total Total time spent re-mining\n\
+             # TYPE seqd_remine_seconds_total counter\n\
+             seqd_remine_seconds_total {:.6}\n",
+            self.remine_ns_total as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "# HELP seqd_remine_seconds_last Duration of the most recent re-mine\n\
+             # TYPE seqd_remine_seconds_last gauge\n\
+             seqd_remine_seconds_last {:.6}\n",
+            self.remine_ns_last as f64 / 1e9
+        ));
+        if !queue_depths.is_empty() {
+            out.push_str(
+                "# HELP seqd_queue_depth Records waiting in each shard queue\n\
+                 # TYPE seqd_queue_depth gauge\n",
+            );
+            for (i, d) in queue_depths.iter().enumerate() {
+                out.push_str(&format!("seqd_queue_depth{{shard=\"{i}\"}} {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciliation_accounts_for_every_line() {
+        let ops = Ops::new();
+        Ops::add(&ops.ingested, 10);
+        Ops::add(&ops.matched, 4);
+        Ops::add(&ops.unmatched, 3);
+        Ops::add(&ops.rejected, 2);
+        Ops::inc(&ops.malformed);
+        let s = ops.snapshot();
+        assert!(s.reconciles());
+        assert_eq!(s.in_flight(), 0);
+        Ops::inc(&ops.ingested);
+        let s = ops.snapshot();
+        assert!(!s.reconciles());
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_every_series() {
+        let ops = Ops::new();
+        Ops::add(&ops.ingested, 7);
+        ops.record_remine(std::time::Duration::from_millis(5));
+        let text = ops.snapshot().render_prometheus(&[3, 0]);
+        for name in [
+            "seqd_ingested_total 7",
+            "seqd_matched_total 0",
+            "seqd_unmatched_total 0",
+            "seqd_rejected_total 0",
+            "seqd_malformed_total 0",
+            "seqd_pattern_swaps_total 0",
+            "seqd_remine_runs_total 1",
+            "seqd_remine_seconds_total 0.005",
+            "seqd_remine_seconds_last 0.005",
+            "seqd_queue_depth{shard=\"0\"} 3",
+            "seqd_queue_depth{shard=\"1\"} 0",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // Every series carries HELP and TYPE comments.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+    }
+
+    #[test]
+    fn remine_timing_accumulates() {
+        let ops = Ops::new();
+        ops.record_remine(std::time::Duration::from_millis(2));
+        ops.record_remine(std::time::Duration::from_millis(3));
+        let s = ops.snapshot();
+        assert_eq!(s.remines, 2);
+        assert_eq!(s.remine_ns_total, 5_000_000);
+        assert_eq!(s.remine_ns_last, 3_000_000);
+    }
+}

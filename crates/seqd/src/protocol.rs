@@ -1,0 +1,201 @@
+//! The NDJSON ingest wire protocol.
+//!
+//! A client connects, streams one `{"service": ..., "message": ...}` JSON
+//! object per line (the paper's composite stream format, `\n` or `\r\n`
+//! terminated), then half-closes its write side. The daemon answers with a
+//! single JSON summary line —
+//! `{"received":N,"accepted":N,"rejected":N,"malformed":N}` — and closes.
+//! There are no per-line acks: the stream stays write-only at full speed, and
+//! the summary is the client's delivery receipt. Rejected lines (shard queue
+//! full past the backpressure timeout) and malformed lines are *counted, not
+//! fatal*: one bad producer must not sever the connection for the rest of
+//! its buffer.
+
+use crate::metrics::Ops;
+use crate::shard::Router;
+use jsonlite::Value;
+use sequence_rtg::LogRecord;
+use std::io::{BufRead, Write};
+
+/// Per-connection ingest counters, echoed back as the summary line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Non-empty lines received on this connection.
+    pub received: u64,
+    /// Records accepted into a shard queue.
+    pub accepted: u64,
+    /// Records rejected by backpressure (or during drain).
+    pub rejected: u64,
+    /// Lines that did not parse as a `{service, message}` record.
+    pub malformed: u64,
+}
+
+impl IngestSummary {
+    /// Serialise as the one-line JSON receipt.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            r#"{{"received":{},"accepted":{},"rejected":{},"malformed":{}}}"#,
+            self.received, self.accepted, self.rejected, self.malformed
+        )
+    }
+
+    /// Parse a receipt line (the load generator's side).
+    pub fn from_json_line(line: &str) -> Option<IngestSummary> {
+        let v = jsonlite::parse(line.trim()).ok()?;
+        let field = |k: &str| -> Option<u64> {
+            match v.get(k)? {
+                Value::Number(n) if *n >= 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        };
+        Some(IngestSummary {
+            received: field("received")?,
+            accepted: field("accepted")?,
+            rejected: field("rejected")?,
+            malformed: field("malformed")?,
+        })
+    }
+}
+
+/// Serve one ingest connection: read NDJSON until EOF, route records, write
+/// the summary. Returns the summary for logging.
+pub fn serve_ingest<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    router: &Router,
+    ops: &Ops,
+) -> std::io::Result<IngestSummary> {
+    let mut summary = IngestSummary::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // client half-closed: stream complete
+        }
+        // `trim` strips the `\n` / `\r\n` terminator (and stray blanks), so
+        // CRLF producers never leak a `\r` into the parsed message.
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        summary.received += 1;
+        Ops::inc(&ops.ingested);
+        match LogRecord::from_json_line(trimmed) {
+            Ok(record) => {
+                if router.route(record) {
+                    summary.accepted += 1;
+                } else {
+                    summary.rejected += 1; // router already counted ops.rejected
+                }
+            }
+            Err(_) => {
+                summary.malformed += 1;
+                Ops::inc(&ops.malformed);
+            }
+        }
+    }
+    writer.write_all(summary.to_json_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::BoundedQueue;
+    use std::io::Cursor;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn router(capacity: usize) -> (Router, Arc<Ops>, Vec<Arc<BoundedQueue<LogRecord>>>) {
+        let queues = vec![Arc::new(BoundedQueue::new(capacity))];
+        let ops = Arc::new(Ops::new());
+        (
+            Router::new(queues.clone(), Arc::clone(&ops), Duration::from_millis(5)),
+            ops,
+            queues,
+        )
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let s = IngestSummary {
+            received: 10,
+            accepted: 7,
+            rejected: 2,
+            malformed: 1,
+        };
+        assert_eq!(IngestSummary::from_json_line(&s.to_json_line()), Some(s));
+        assert_eq!(IngestSummary::from_json_line("not json"), None);
+        assert_eq!(IngestSummary::from_json_line(r#"{"received":1}"#), None);
+    }
+
+    #[test]
+    fn ingest_counts_and_routes() {
+        let (router, ops, queues) = router(64);
+        let input = concat!(
+            r#"{"service":"sshd","message":"session opened"}"#,
+            "\n",
+            "\n", // blank: skipped entirely
+            "garbage\n",
+            r#"{"service":"sshd","message":"session closed"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops).unwrap();
+        assert_eq!(
+            summary,
+            IngestSummary {
+                received: 3,
+                accepted: 2,
+                rejected: 0,
+                malformed: 1,
+            }
+        );
+        assert_eq!(queues[0].depth(), 2);
+        let s = ops.snapshot();
+        assert_eq!((s.ingested, s.malformed, s.rejected), (3, 1, 0));
+        let receipt = String::from_utf8(out).unwrap();
+        assert_eq!(
+            IngestSummary::from_json_line(&receipt).unwrap(),
+            summary,
+            "receipt line: {receipt}"
+        );
+    }
+
+    #[test]
+    fn crlf_terminated_lines_do_not_leak_carriage_returns() {
+        let (router, ops, queues) = router(64);
+        let input = "{\"service\":\"win\",\"message\":\"event viewer ok\"}\r\n";
+        let mut out = Vec::new();
+        serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops).unwrap();
+        let record = queues[0]
+            .pop_timeout(Duration::from_millis(10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(record.message, "event viewer ok");
+        assert!(!record.message.contains('\r'));
+        assert!(!record.service.contains('\r'));
+    }
+
+    #[test]
+    fn backpressure_rejects_are_reported_in_the_receipt() {
+        let (router, ops, _queues) = router(1); // 1 slot, no worker: stalled shard
+        let mut lines = String::new();
+        for i in 0..4 {
+            lines.push_str(&format!(
+                "{{\"service\":\"svc\",\"message\":\"event {i}\"}}\n"
+            ));
+        }
+        let mut out = Vec::new();
+        let summary = serve_ingest(&mut Cursor::new(lines), &mut out, &router, &ops).unwrap();
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.rejected, 3);
+        assert_eq!(ops.snapshot().rejected, 3);
+        // Reconciliation holds even with rejects: nothing was queued beyond
+        // the slot, nothing processed yet.
+        let s = ops.snapshot();
+        assert_eq!(s.ingested, s.rejected + s.malformed + 1 /* queued */);
+    }
+}

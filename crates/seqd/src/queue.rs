@@ -1,0 +1,207 @@
+//! The bounded shard queue: backpressure that is observable and bounded.
+//!
+//! `std::sync::mpsc::sync_channel` blocks forever when full; the daemon
+//! instead wants the paper's production posture — block briefly to absorb a
+//! burst, then *reject* so the upstream collector can buffer or drop with
+//! full knowledge, and so memory stays bounded no matter how stalled a shard
+//! gets. A `Mutex<VecDeque>` + two condvars gives exactly that, plus a depth
+//! gauge for `/metrics`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue stayed full for the whole backpressure timeout.
+    Full,
+    /// The queue was closed for pushes (daemon shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer bounded queue with a rejecting timed push.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when an item is enqueued or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is dequeued or the queue closes.
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Enqueue, blocking up to `timeout` for a slot, then rejecting.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return Err(PushError::Closed);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full);
+            }
+            let (guard, _res) = self
+                .not_full
+                .wait_timeout(st, deadline - now)
+                .expect("queue lock");
+            st = guard;
+        }
+    }
+
+    /// Dequeue, blocking up to `timeout`. `Ok(None)` on timeout (the caller
+    /// re-checks its shutdown conditions); `Err(())` once the queue is closed
+    /// *and* empty — i.e. fully drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if st.closed {
+                return Err(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _res) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .expect("queue lock");
+            st = guard;
+        }
+    }
+
+    /// Close the queue: pushes fail immediately with [`PushError::Closed`];
+    /// pops keep draining what is already queued.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push_timeout(i, TICK).unwrap();
+        }
+        assert_eq!(q.depth(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop_timeout(TICK).unwrap(), Some(i));
+        }
+        assert_eq!(q.pop_timeout(TICK).unwrap(), None);
+    }
+
+    #[test]
+    fn full_queue_with_stalled_consumer_rejects_not_blocks() {
+        // The acceptance scenario: a 1-slot queue, nobody consuming.
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        q.push_timeout(1, TICK).unwrap();
+        let start = Instant::now();
+        assert_eq!(q.push_timeout(2, TICK), Err(PushError::Full));
+        assert!(start.elapsed() >= TICK, "must block for the timeout first");
+        // Memory stays bounded: the rejected item was never enqueued.
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn push_unblocks_when_consumer_catches_up() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_timeout(1u32, TICK).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.pop_timeout(Duration::from_millis(200)).unwrap()
+        });
+        // Long timeout: the concurrent pop frees the slot well before it.
+        q.push_timeout(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(t.join().unwrap(), Some(1));
+        assert_eq!(q.pop_timeout(TICK).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn close_fails_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push_timeout("a", TICK).unwrap();
+        q.push_timeout("b", TICK).unwrap();
+        q.close();
+        assert_eq!(q.push_timeout("c", TICK), Err(PushError::Closed));
+        assert_eq!(q.pop_timeout(TICK).unwrap(), Some("a"));
+        assert_eq!(q.pop_timeout(TICK).unwrap(), Some("b"));
+        assert_eq!(q.pop_timeout(TICK), Err(()));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(()));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push_timeout(1, TICK).unwrap();
+    }
+}

@@ -1,0 +1,530 @@
+//! The daemon itself: one TCP listener, two protocols, graceful drain.
+//!
+//! ```text
+//!              ┌────────────────────────────── seqd ───────────────────────────────┐
+//!   NDJSON ──▶ │ acceptor ─▶ router ─▶ [bounded queue]×N ─▶ shard workers          │
+//!   HTTP   ──▶ │    │                                        │  match via Arc set  │
+//!              │    └─▶ control plane (/healthz /stats        │  residue ─▶ re-mine │
+//!              │         /metrics /patterns /shutdown)        └─▶ publish swap ──┐  │
+//!              │                                   PatternBoard ◀───────────────┘  │
+//!              │                                   PatternStore (shared, Mutex)    │
+//!              └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! A connection's first bytes decide its protocol: `GET ` / `POST ` / `HEAD`
+//! means HTTP control plane, anything else is an NDJSON ingest stream — so
+//! one port serves both, like any modern single-binary daemon.
+//!
+//! `POST /shutdown` (or [`SeqdHandle::initiate_shutdown`]) starts the drain:
+//! the acceptor stops, queues close (late pushes reject), each worker drains
+//! its queue and flushes its residue through one final analysis, and
+//! [`SeqdHandle::join`] checkpoints the store before returning the final
+//! counter snapshot.
+
+use crate::http::{respond, Request};
+use crate::metrics::{Ops, OpsSnapshot};
+use crate::protocol::serve_ingest;
+use crate::queue::BoundedQueue;
+use crate::shard::{Router, ShardWorker};
+use crate::swap::PatternBoard;
+use jsonlite::Value;
+use patterndb::PatternStore;
+use sequence_rtg::{RtgConfig, SequenceRtg};
+use std::io::{self, BufRead, BufReader, BufWriter, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqdConfig {
+    /// Worker threads; each owns a disjoint slice of the service space.
+    pub shards: usize,
+    /// Unmatched-residue size that triggers a re-mine (the paper's batch
+    /// size, applied to the *unmatched* stream as in the Fig. 6 deployment).
+    pub batch_size: usize,
+    /// Bounded queue slots per shard.
+    pub queue_capacity: usize,
+    /// How long ingest blocks on a full shard queue before rejecting.
+    pub enqueue_timeout: Duration,
+    /// Mining configuration. `save_threshold` should stay 0 for the daemon:
+    /// store-wide pruning from one shard would silently invalidate sets
+    /// owned by the others (prune offline, between runs, instead).
+    pub rtg: RtgConfig,
+}
+
+impl Default for SeqdConfig {
+    fn default() -> Self {
+        SeqdConfig {
+            shards: 4,
+            batch_size: 5_000,
+            queue_capacity: 10_000,
+            enqueue_timeout: Duration::from_millis(250),
+            rtg: RtgConfig {
+                batch_size: 5_000,
+                save_threshold: 0,
+                ..RtgConfig::default()
+            },
+        }
+    }
+}
+
+struct Shared {
+    ops: Arc<Ops>,
+    board: Arc<PatternBoard>,
+    engine: Arc<Mutex<SequenceRtg>>,
+    router: Arc<Router>,
+    residues: Vec<Arc<AtomicUsize>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+/// A running daemon. Dropping the handle without [`SeqdHandle::join`] leaves
+/// the threads running detached; join for a clean drain + checkpoint.
+pub struct SeqdHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start the daemon on `addr` (use port 0 for an ephemeral port) over the
+/// given pattern store. Patterns already in the store are published to the
+/// matching plane immediately.
+pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<SeqdHandle> {
+    let engine = SequenceRtg::new(store, config.rtg)
+        .map_err(|e| io::Error::other(format!("pattern store load failed: {e}")))?;
+    let board = Arc::new(PatternBoard::new());
+    board.seed(engine.pattern_sets().clone());
+    let engine = Arc::new(Mutex::new(engine));
+    let ops = Arc::new(Ops::new());
+
+    let shards = config.shards.max(1);
+    let queues: Vec<_> = (0..shards)
+        .map(|_| Arc::new(BoundedQueue::new(config.queue_capacity)))
+        .collect();
+    let router = Arc::new(Router::new(
+        queues.clone(),
+        Arc::clone(&ops),
+        config.enqueue_timeout,
+    ));
+    let residues: Vec<_> = (0..shards).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        ops: Arc::clone(&ops),
+        board: Arc::clone(&board),
+        engine: Arc::clone(&engine),
+        router: Arc::clone(&router),
+        residues: residues.clone(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        addr: local_addr,
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..shards)
+        .map(|shard_id| {
+            let worker = ShardWorker {
+                shard_id,
+                queue: Arc::clone(&queues[shard_id]),
+                engine: Arc::clone(&engine),
+                board: Arc::clone(&board),
+                ops: Arc::clone(&ops),
+                batch_size: config.batch_size.max(1),
+                residue_len: Arc::clone(&residues[shard_id]),
+            };
+            std::thread::Builder::new()
+                .name(format!("seqd-shard-{shard_id}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("seqd-acceptor".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("seqd-conn".to_string())
+                        .spawn(move || {
+                            if let Err(e) = serve_connection(stream, &shared) {
+                                // Peer resets are routine; anything else is
+                                // still not worth killing the daemon over.
+                                if e.kind() != io::ErrorKind::ConnectionReset {
+                                    eprintln!("seqd: connection error: {e}");
+                                }
+                            }
+                        });
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(SeqdHandle {
+        shared,
+        acceptor,
+        workers,
+    })
+}
+
+impl SeqdHandle {
+    /// The bound address (the actual port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live counter snapshot.
+    pub fn ops(&self) -> OpsSnapshot {
+        self.shared.ops.snapshot()
+    }
+
+    /// Begin the drain, exactly as `POST /shutdown` does. Idempotent.
+    pub fn initiate_shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Wait for the drain to complete (blocks until a shutdown has been
+    /// initiated by either [`SeqdHandle::initiate_shutdown`] or
+    /// `POST /shutdown`), then checkpoint the store and return the final
+    /// counters. After `join` returns, every accepted record is accounted
+    /// for: `ingested = matched + unmatched + rejected + malformed`.
+    pub fn join(self) -> io::Result<OpsSnapshot> {
+        self.acceptor
+            .join()
+            .map_err(|_| io::Error::other("acceptor panicked"))?;
+        for w in self.workers {
+            w.join()
+                .map_err(|_| io::Error::other("shard worker panicked"))?;
+        }
+        let mut engine = self
+            .shared
+            .engine
+            .lock()
+            .map_err(|_| io::Error::other("engine lock poisoned"))?;
+        engine
+            .store_mut()
+            .checkpoint()
+            .map_err(|e| io::Error::other(format!("store checkpoint failed: {e}")))?;
+        Ok(self.shared.ops.snapshot())
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.router.close();
+    // Wake the acceptor out of `accept()` with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Sniff the protocol from the first complete line and dispatch. Both
+/// protocols are line-oriented, so reading one full line is race-free —
+/// unlike `peek`, which can observe a partial `"G"` before the rest of
+/// `"GET "` arrives and misclassify the connection.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut tcp_reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut first = String::new();
+    tcp_reader.read_line(&mut first)?;
+    // Method prefix alone decides: a malformed HTTP-ish line must still go
+    // to the control plane (which answers 400 and closes) — the ingest path
+    // would wait for a half-close that an HTTP client never sends.
+    let is_http =
+        first.starts_with("GET ") || first.starts_with("POST ") || first.starts_with("HEAD ");
+    // Re-prepend the sniffed line so each handler sees the full stream.
+    let mut reader = io::Cursor::new(first.into_bytes()).chain(tcp_reader);
+    if is_http {
+        serve_control(&mut reader, &mut writer, shared)
+    } else {
+        serve_ingest(&mut reader, &mut writer, &shared.router, &shared.ops).map(|_| ())
+    }
+}
+
+fn serve_control<R: io::BufRead, W: io::Write>(
+    reader: &mut R,
+    writer: &mut W,
+    shared: &Shared,
+) -> io::Result<()> {
+    let Some(req) = Request::read_from(reader) else {
+        return respond(writer, 400, "text/plain; charset=utf-8", "bad request\n");
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond(writer, 200, "text/plain; charset=utf-8", "ok\n"),
+        ("GET", "/stats") => {
+            let body = stats_json(shared);
+            respond(writer, 200, "application/json", &body)
+        }
+        ("GET", "/metrics") => {
+            let mut body = shared
+                .ops
+                .snapshot()
+                .render_prometheus(&shared.router.depths());
+            body.push_str(
+                "# HELP seqd_residue_len Unmatched records awaiting re-mining per shard\n\
+                 # TYPE seqd_residue_len gauge\n",
+            );
+            for (i, r) in shared.residues.iter().enumerate() {
+                body.push_str(&format!(
+                    "seqd_residue_len{{shard=\"{i}\"}} {}\n",
+                    r.load(Ordering::Relaxed)
+                ));
+            }
+            body.push_str(&format!(
+                "# HELP seqd_uptime_seconds Seconds since daemon start\n\
+                 # TYPE seqd_uptime_seconds gauge\nseqd_uptime_seconds {:.3}\n",
+                shared.started.elapsed().as_secs_f64()
+            ));
+            respond(
+                writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        ("GET", "/patterns") => {
+            let body = patterns_json(shared, req.query.get("service").map(|s| s.as_str()));
+            respond(writer, 200, "application/json", &body)
+        }
+        ("POST", "/shutdown") => {
+            initiate_shutdown(shared);
+            respond(writer, 200, "application/json", "{\"draining\":true}\n")
+        }
+        ("POST", _) | ("GET", _) | ("HEAD", _) => {
+            respond(writer, 404, "text/plain; charset=utf-8", "not found\n")
+        }
+        _ => respond(
+            writer,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        ),
+    }
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let s = shared.ops.snapshot();
+    let depths = shared.router.depths();
+    let residue_total: usize = shared
+        .residues
+        .iter()
+        .map(|r| r.load(Ordering::Relaxed))
+        .sum();
+    // The store's own pattern count needs the engine lock; a re-mine may
+    // hold it for a while, so report `null` rather than stall the endpoint.
+    let store_patterns = shared
+        .engine
+        .try_lock()
+        .ok()
+        .and_then(|mut e| e.store_mut().pattern_count().ok());
+    let obj = jsonlite::object::<&str, Value>([
+        (
+            "uptime_seconds",
+            shared.started.elapsed().as_secs_f64().into(),
+        ),
+        ("ingested", (s.ingested as i64).into()),
+        ("matched", (s.matched as i64).into()),
+        ("unmatched", (s.unmatched as i64).into()),
+        ("rejected", (s.rejected as i64).into()),
+        ("malformed", (s.malformed as i64).into()),
+        ("in_flight", (s.in_flight() as i64).into()),
+        ("residue", (residue_total as i64).into()),
+        ("pattern_swaps", (s.swaps as i64).into()),
+        ("remine_runs", (s.remines as i64).into()),
+        (
+            "remine_seconds_total",
+            (s.remine_ns_total as f64 / 1e9).into(),
+        ),
+        (
+            "queue_depths",
+            Value::Array(depths.iter().map(|&d| Value::from(d as i64)).collect()),
+        ),
+        (
+            "published_services",
+            (shared.board.services().len() as i64).into(),
+        ),
+        (
+            "published_patterns",
+            (shared.board.total_patterns() as i64).into(),
+        ),
+        (
+            "store_patterns",
+            store_patterns.map_or(Value::Null, |n| Value::from(n as i64)),
+        ),
+    ]);
+    jsonlite::to_string(&obj)
+}
+
+fn patterns_json(shared: &Shared, service: Option<&str>) -> String {
+    match service {
+        Some(service) => {
+            let patterns: Vec<Value> = shared
+                .board
+                .load(service)
+                .map(|set| {
+                    set.iter()
+                        .map(|(id, p)| {
+                            jsonlite::object([("id", id), ("pattern", p.render().as_str())])
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            jsonlite::to_string(&jsonlite::object::<&str, Value>([
+                ("service", service.into()),
+                ("patterns", Value::Array(patterns)),
+            ]))
+        }
+        None => {
+            let services: Vec<Value> = shared
+                .board
+                .services()
+                .into_iter()
+                .map(|svc| {
+                    let n = shared.board.load(&svc).map_or(0, |s| s.len());
+                    jsonlite::object::<&str, Value>([
+                        ("service", svc.as_str().into()),
+                        ("patterns", (n as i64).into()),
+                    ])
+                })
+                .collect();
+            jsonlite::to_string(&jsonlite::object::<&str, Value>([(
+                "services",
+                Value::Array(services),
+            )]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen;
+    use std::io::{Read, Write};
+
+    fn http(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        (status, body.to_string())
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn daemon_serves_both_protocols_and_drains() {
+        let handle = start(
+            PatternStore::in_memory(),
+            SeqdConfig {
+                shards: 2,
+                ..SeqdConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // Ingest a few records over a real socket.
+        let lines: Vec<String> = (0..20)
+            .map(|i| format!(r#"{{"service":"sshd","message":"session opened for user u{i}"}}"#))
+            .collect();
+        let summary = loadgen::replay_lines(addr, lines.iter().map(|s| s.as_str())).unwrap();
+        assert_eq!(summary.accepted, 20);
+
+        // /stats reflects the ingest once the queues drain.
+        loadgen::wait_until_processed(addr, 20, Duration::from_secs(10)).unwrap();
+        let (_, stats) = get(addr, "/stats");
+        let v = jsonlite::parse(&stats).unwrap();
+        assert_eq!(v.get("ingested").unwrap().as_i64(), Some(20));
+        assert_eq!(v.get("in_flight").unwrap().as_i64(), Some(0));
+
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("seqd_ingested_total 20"), "{metrics}");
+        assert!(metrics.contains("seqd_uptime_seconds"), "{metrics}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // Drain via the control plane.
+        let (status, body) = http(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"));
+        let final_ops = handle.join().unwrap();
+        assert!(final_ops.reconciles(), "{final_ops:?}");
+        assert_eq!(final_ops.ingested, 20);
+        // All 20 were unmatched (empty store) and mined at drain.
+        assert_eq!(final_ops.unmatched, 20);
+        assert!(final_ops.remines >= 1);
+    }
+
+    #[test]
+    fn preloaded_store_patterns_are_served_immediately() {
+        // Mine a pattern offline, then hand the store to the daemon.
+        let mut engine = SequenceRtg::in_memory(RtgConfig::default());
+        let batch: Vec<sequence_rtg::LogRecord> = ["alice", "bob", "carol"]
+            .iter()
+            .map(|u| sequence_rtg::LogRecord::new("sshd", format!("login from {u} ok")))
+            .collect();
+        engine.analyze_by_service(&batch, 1).unwrap();
+        let store = std::mem::replace(engine.store_mut(), PatternStore::in_memory());
+
+        let handle = start(store, SeqdConfig::default(), "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let (_, body) = get(addr, "/patterns?service=sshd");
+        let v = jsonlite::parse(&body).unwrap();
+        assert_eq!(v.get("patterns").unwrap().as_array().unwrap().len(), 1);
+        let (_, listing) = get(addr, "/patterns");
+        assert!(listing.contains("sshd"), "{listing}");
+
+        // A matching record is counted as matched, not re-mined.
+        loadgen::replay_lines(
+            addr,
+            [r#"{"service":"sshd","message":"login from mallory ok"}"#].into_iter(),
+        )
+        .unwrap();
+        loadgen::wait_until_processed(addr, 1, Duration::from_secs(10)).unwrap();
+        handle.initiate_shutdown();
+        let ops = handle.join().unwrap();
+        assert_eq!(ops.matched, 1);
+        assert_eq!(ops.unmatched, 0);
+    }
+
+    #[test]
+    fn malformed_http_gets_400_and_daemon_survives() {
+        let handle = start(
+            PatternStore::in_memory(),
+            SeqdConfig::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let (status, _) = http(addr, "GET incomplete\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        handle.initiate_shutdown();
+        handle.join().unwrap();
+    }
+}

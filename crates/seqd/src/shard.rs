@@ -1,0 +1,357 @@
+//! Per-service-shard workers: the online half of `AnalyzeByService`.
+//!
+//! The acceptor routes each record to a shard by service hash, so one
+//! service's records always land on one worker and per-service arrival order
+//! is preserved (the property the paper's "no crossover with patterns
+//! between different services" scale-out relies on). Each worker:
+//!
+//! 1. scans the message and matches it against the service's published
+//!    [`PatternSet`] (an `Arc` loaded from the [`PatternBoard`] — never
+//!    blocked by re-mining),
+//! 2. accumulates unmatched records as *residue* and per-pattern match
+//!    counts,
+//! 3. when the residue reaches the configured batch size (or at drain),
+//!    takes the shared engine lock, records the match counts in one bulk
+//!    transaction, re-runs `analyze_by_service` over the residue, and
+//!    publishes the services' freshly compiled sets back to the board.
+
+use crate::metrics::Ops;
+use crate::queue::{BoundedQueue, PushError};
+use crate::swap::PatternBoard;
+use sequence_core::{MatchScratch, Scanner};
+use sequence_rtg::{LogRecord, SequenceRtg};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+/// How long a worker sleeps in `pop_timeout` before re-checking shutdown.
+const POP_TICK: Duration = Duration::from_millis(50);
+
+/// Seconds since the Unix epoch — the `now` fed to the pattern store.
+pub fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The ingest-side router: hashes a record's service to a shard queue and
+/// pushes with the backpressure policy (block up to the timeout, then
+/// reject and count).
+#[derive(Debug)]
+pub struct Router {
+    queues: Vec<Arc<BoundedQueue<LogRecord>>>,
+    ops: Arc<Ops>,
+    enqueue_timeout: Duration,
+}
+
+impl Router {
+    /// A router over `queues` (one per shard).
+    pub fn new(
+        queues: Vec<Arc<BoundedQueue<LogRecord>>>,
+        ops: Arc<Ops>,
+        enqueue_timeout: Duration,
+    ) -> Router {
+        assert!(!queues.is_empty(), "at least one shard");
+        Router {
+            queues,
+            ops,
+            enqueue_timeout,
+        }
+    }
+
+    /// The shard a service hashes to.
+    pub fn shard_of(&self, service: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        service.hash(&mut h);
+        (h.finish() % self.queues.len() as u64) as usize
+    }
+
+    /// Route one record. Returns `false` (and bumps `rejected`) when the
+    /// shard queue stayed full past the timeout or the daemon is draining.
+    pub fn route(&self, record: LogRecord) -> bool {
+        let shard = self.shard_of(&record.service);
+        match self.queues[shard].push_timeout(record, self.enqueue_timeout) {
+            Ok(()) => true,
+            Err(PushError::Full) | Err(PushError::Closed) => {
+                Ops::inc(&self.ops.rejected);
+                false
+            }
+        }
+    }
+
+    /// Close every shard queue for pushes (drain begins).
+    pub fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+
+    /// Per-shard queue depths, for `/metrics`.
+    pub fn depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.depth()).collect()
+    }
+}
+
+/// Everything one worker thread needs.
+pub struct ShardWorker {
+    /// Shard index (metrics labels, diagnostics).
+    pub shard_id: usize,
+    /// This shard's input queue.
+    pub queue: Arc<BoundedQueue<LogRecord>>,
+    /// The shared mining engine + pattern store.
+    pub engine: Arc<Mutex<SequenceRtg>>,
+    /// The published pattern sets.
+    pub board: Arc<PatternBoard>,
+    /// Shared counters.
+    pub ops: Arc<Ops>,
+    /// Residue size that triggers a re-mine.
+    pub batch_size: usize,
+    /// Gauge of this shard's current residue length.
+    pub residue_len: Arc<AtomicUsize>,
+}
+
+impl ShardWorker {
+    /// Run until the queue is closed and drained; flushes remaining residue
+    /// through one final analysis before returning.
+    pub fn run(self) {
+        let scanner = {
+            let engine = self.engine.lock().expect("engine lock");
+            Scanner::with_options(engine.config().scanner)
+        };
+        let mut scratch = MatchScratch::default();
+        let mut residue: Vec<LogRecord> = Vec::new();
+        let mut match_counts: HashMap<String, u64> = HashMap::new();
+        loop {
+            match self.queue.pop_timeout(POP_TICK) {
+                Ok(Some(record)) => {
+                    // Parse-only scan: the raw line is only needed again if
+                    // the record joins the residue (it keeps the LogRecord).
+                    let scanned = scanner.scan_parse_only(&record.message);
+                    let outcome = self
+                        .board
+                        .load(&record.service)
+                        .and_then(|set| set.match_message_with(&scanned, &mut scratch));
+                    match outcome {
+                        Some(hit) => {
+                            Ops::inc(&self.ops.matched);
+                            *match_counts.entry(hit.pattern_id).or_insert(0) += 1;
+                        }
+                        None => {
+                            Ops::inc(&self.ops.unmatched);
+                            residue.push(record);
+                            self.residue_len.store(residue.len(), Ordering::Relaxed);
+                        }
+                    }
+                    if residue.len() >= self.batch_size {
+                        self.flush(&mut residue, &mut match_counts);
+                    }
+                }
+                Ok(None) => {} // idle tick; nothing to do yet
+                Err(()) => {
+                    // Closed and drained: one final flush, then exit.
+                    self.flush(&mut residue, &mut match_counts);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Record accumulated match counts (one bulk transaction), re-mine the
+    /// residue, and publish the affected services' new compiled sets.
+    fn flush(&self, residue: &mut Vec<LogRecord>, match_counts: &mut HashMap<String, u64>) {
+        if residue.is_empty() && match_counts.is_empty() {
+            return;
+        }
+        let now = now_unix();
+        let started = Instant::now();
+        let batch = std::mem::take(residue);
+        self.residue_len.store(0, Ordering::Relaxed);
+        let counts: Vec<(String, u64)> = {
+            let mut v: Vec<_> = std::mem::take(match_counts).into_iter().collect();
+            v.sort_unstable(); // deterministic store write order
+            v
+        };
+        let services: BTreeSet<&str> = batch.iter().map(|r| r.service.as_str()).collect();
+
+        let mut engine = self.engine.lock().expect("engine lock");
+        if !counts.is_empty() {
+            if let Err(e) = engine.store_mut().record_matches_bulk(&counts, now) {
+                eprintln!(
+                    "seqd[shard {}]: recording match stats failed: {e}",
+                    self.shard_id
+                );
+            }
+        }
+        if !batch.is_empty() {
+            match engine.analyze_by_service(&batch, now) {
+                Ok(_report) => {
+                    for service in services {
+                        let set = engine.pattern_set(service).cloned().unwrap_or_default();
+                        self.board.publish(service, set);
+                        Ops::inc(&self.ops.swaps);
+                    }
+                    self.ops.record_remine(started.elapsed());
+                }
+                Err(e) => {
+                    // The batch transaction rolled back; drop the residue
+                    // rather than retry forever on a poisoned store.
+                    eprintln!("seqd[shard {}]: re-mining failed: {e}", self.shard_id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequence_rtg::RtgConfig;
+
+    fn record(service: &str, message: &str) -> LogRecord {
+        LogRecord::new(service, message)
+    }
+
+    fn test_setup(
+        queue_capacity: usize,
+        shards: usize,
+    ) -> (Router, Vec<Arc<BoundedQueue<LogRecord>>>, Arc<Ops>) {
+        let queues: Vec<_> = (0..shards)
+            .map(|_| Arc::new(BoundedQueue::new(queue_capacity)))
+            .collect();
+        let ops = Arc::new(Ops::new());
+        let router = Router::new(queues.clone(), Arc::clone(&ops), Duration::from_millis(10));
+        (router, queues, ops)
+    }
+
+    /// The acceptance-criteria backpressure scenario: 1-slot queue, stalled
+    /// shard (no worker running). Ingest gets a reject — no OOM, no panic —
+    /// and the `rejected` counter increments.
+    #[test]
+    fn stalled_shard_rejects_and_counts() {
+        let (router, queues, ops) = test_setup(1, 1);
+        assert!(router.route(record("svc", "first fills the only slot")));
+        assert!(!router.route(record("svc", "second must be rejected")));
+        assert!(!router.route(record("svc", "third too")));
+        assert_eq!(ops.snapshot().rejected, 2);
+        // Bounded: the queue still holds exactly its one slot.
+        assert_eq!(queues[0].depth(), 1);
+        assert_eq!(router.depths(), vec![1]);
+    }
+
+    #[test]
+    fn closed_router_rejects_with_count() {
+        let (router, _queues, ops) = test_setup(8, 2);
+        router.close();
+        assert!(!router.route(record("svc", "too late")));
+        assert_eq!(ops.snapshot().rejected, 1);
+    }
+
+    #[test]
+    fn same_service_always_routes_to_same_shard() {
+        let (router, queues, _ops) = test_setup(64, 4);
+        for i in 0..32 {
+            assert!(router.route(record("sshd", &format!("event {i}"))));
+        }
+        let populated: Vec<usize> = queues.iter().map(|q| q.depth()).collect();
+        assert_eq!(populated.iter().sum::<usize>(), 32);
+        assert_eq!(
+            populated.iter().filter(|&&d| d > 0).count(),
+            1,
+            "one service must land on exactly one shard: {populated:?}"
+        );
+        assert_eq!(router.shard_of("sshd"), router.shard_of("sshd"));
+    }
+
+    /// Drive a worker end to end in-process: unmatched residue is mined on
+    /// drain, the set is published, and a second pass matches against it.
+    #[test]
+    fn worker_mines_residue_and_publishes_on_drain() {
+        let queue = Arc::new(BoundedQueue::new(64));
+        let ops = Arc::new(Ops::new());
+        let board = Arc::new(PatternBoard::new());
+        let engine = Arc::new(Mutex::new(SequenceRtg::in_memory(RtgConfig::default())));
+        let worker = ShardWorker {
+            shard_id: 0,
+            queue: Arc::clone(&queue),
+            engine: Arc::clone(&engine),
+            board: Arc::clone(&board),
+            ops: Arc::clone(&ops),
+            batch_size: 1_000, // only the drain flush fires
+            residue_len: Arc::new(AtomicUsize::new(0)),
+        };
+        for user in ["alice", "bob", "carol"] {
+            queue
+                .push_timeout(
+                    record("sshd", &format!("session opened for user {user}")),
+                    Duration::from_millis(10),
+                )
+                .unwrap();
+        }
+        queue.close();
+        worker.run();
+        let s = ops.snapshot();
+        assert_eq!(s.unmatched, 3);
+        assert_eq!(s.matched, 0);
+        assert_eq!(s.remines, 1);
+        assert!(s.swaps >= 1);
+        let set = board.load("sshd").expect("published set");
+        let msg = Scanner::new().scan("session opened for user mallory");
+        assert!(set.match_message(&msg).is_some());
+        // Store got the discovery too.
+        let mut engine = engine.lock().unwrap();
+        assert_eq!(engine.store_mut().pattern_count().unwrap(), 1);
+    }
+
+    /// Matched records bump the store's statistics via the bulk path.
+    #[test]
+    fn worker_records_match_stats_in_bulk() {
+        let engine = Arc::new(Mutex::new(SequenceRtg::in_memory(RtgConfig::default())));
+        let board = Arc::new(PatternBoard::new());
+        // Pre-mine one pattern and publish it, as a prior flush would.
+        let pattern_id = {
+            let mut engine = engine.lock().unwrap();
+            let batch: Vec<LogRecord> = ["alice", "bob", "carol"]
+                .iter()
+                .map(|u| record("sshd", &format!("session opened for user {u}")))
+                .collect();
+            engine.analyze_by_service(&batch, 1).unwrap();
+            let set = engine.pattern_set("sshd").cloned().unwrap();
+            board.publish("sshd", set);
+            engine.store_mut().patterns(Some("sshd")).unwrap()[0]
+                .id
+                .clone()
+        };
+        let queue = Arc::new(BoundedQueue::new(64));
+        let ops = Arc::new(Ops::new());
+        let worker = ShardWorker {
+            shard_id: 0,
+            queue: Arc::clone(&queue),
+            engine: Arc::clone(&engine),
+            board: Arc::clone(&board),
+            ops: Arc::clone(&ops),
+            batch_size: 1_000,
+            residue_len: Arc::new(AtomicUsize::new(0)),
+        };
+        for user in ["dave", "erin"] {
+            queue
+                .push_timeout(
+                    record("sshd", &format!("session opened for user {user}")),
+                    Duration::from_millis(10),
+                )
+                .unwrap();
+        }
+        queue.close();
+        worker.run();
+        let s = ops.snapshot();
+        assert_eq!(s.matched, 2);
+        assert_eq!(s.unmatched, 0);
+        let mut engine = engine.lock().unwrap();
+        let stored = &engine.store_mut().patterns(Some("sshd")).unwrap()[0];
+        assert_eq!(stored.id, pattern_id);
+        assert_eq!(stored.count, 3 + 2);
+    }
+}

@@ -118,6 +118,19 @@ impl SequenceRtg {
         self.sets.values().map(|s| s.len()).sum()
     }
 
+    /// The in-memory compiled pattern set for one service, if any pattern
+    /// has been discovered or loaded for it. The daemon (`seqd`) clones this
+    /// after a re-mine to publish a hot-swapped set to its matchers.
+    pub fn pattern_set(&self, service: &str) -> Option<&PatternSet> {
+        self.sets.get(service)
+    }
+
+    /// All in-memory compiled pattern sets, keyed by service (e.g. to seed a
+    /// serving plane from a freshly loaded store).
+    pub fn pattern_sets(&self) -> &HashMap<String, PatternSet> {
+        &self.sets
+    }
+
     /// The new Sequence-RTG entry point: partition by service, parse known
     /// messages first, analyse the rest per service, persist discoveries.
     pub fn analyze_by_service(

@@ -164,6 +164,45 @@ mod tests {
     }
 
     #[test]
+    fn malformed_beyond_retention_cap_still_counted() {
+        // 20 bad lines + 1 good one: retention stops at MAX_RETAINED_ERRORS,
+        // the malformed *counter* must not.
+        let mut lines: Vec<String> = (0..20).map(|i| format!("not json {i}")).collect();
+        lines.push(r#"{"service":"a","message":"ok"}"#.to_string());
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let mut ing = StreamIngester::new(stream(&refs), 10);
+        let batch = ing.next_batch().unwrap().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(ing.stats().malformed, 20);
+        assert_eq!(ing.errors().len(), MAX_RETAINED_ERRORS);
+        // Retained diagnostics are the *first* failures, with line numbers.
+        assert_eq!(ing.errors()[0].0, 1);
+        assert_eq!(
+            ing.errors()[MAX_RETAINED_ERRORS - 1].0,
+            MAX_RETAINED_ERRORS as u64
+        );
+    }
+
+    #[test]
+    fn crlf_terminated_lines_do_not_leak_carriage_returns() {
+        let raw = "{\"service\":\"win\",\"message\":\"event ok\"}\r\n\
+                   {\"service\":\"win\",\"message\":\"event two\"}\r\n";
+        let mut ing = StreamIngester::new(Cursor::new(raw.to_string()), 10);
+        let batch = ing.next_batch().unwrap().unwrap();
+        assert_eq!(batch.len(), 2);
+        for record in &batch {
+            assert!(
+                !record.message.contains('\r'),
+                "CR leaked: {:?}",
+                record.message
+            );
+            assert!(!record.service.contains('\r'));
+        }
+        assert_eq!(batch[0].message, "event ok");
+        assert_eq!(ing.stats().malformed, 0);
+    }
+
+    #[test]
     fn batches_iterator() {
         let lines: Vec<String> = (0..5)
             .map(|i| format!(r#"{{"service":"s","message":"m {i}"}}"#))

@@ -12,5 +12,6 @@ pub use loghub_synth;
 pub use logstore;
 pub use minisql;
 pub use patterndb;
+pub use seqd;
 pub use sequence_core;
 pub use sequence_rtg;
