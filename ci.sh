@@ -22,8 +22,30 @@ echo "==> bench smoke (1 sample, JSON to a scratch file)"
 smoke_json=$(mktemp)
 seqd_log=$(mktemp)
 seqd_store=$(mktemp -d)
-trap 'rm -rf "${smoke_json}" "${seqd_log}" "${seqd_log}.loadgen" "${seqd_store}"
-      [[ -n "${seqd_pid:-}" ]] && kill "${seqd_pid}" 2>/dev/null || true' EXIT
+trap 'rm -rf "${smoke_json}" "${seqd_log}" "${seqd_log}".* "${seqd_store}"
+      [[ -n "${seqd_pid:-}" ]] && kill -9 "${seqd_pid}" 2>/dev/null || true' EXIT
+
+# Poll a seqd stderr log until the daemon announces its port.
+wait_seqd_port() {
+  local log=$1 port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${log}")
+    [[ -n "${port}" ]] && { echo "${port}"; return 0; }
+    sleep 0.1
+  done
+  echo "seqd did not come up" >&2; cat "${log}" >&2; return 1
+}
+
+# One HTTP request against a local seqd, asserting a 200 response.
+seqd_http() {
+  local port=$1 method=$2 path=$3
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf '%s %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "${method}" "${path}" >&3
+  head -n1 <&3 | grep -q "200 OK"
+  local ok=$?
+  exec 3>&- 3<&-
+  return "${ok}"
+}
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench parser_throughput >/dev/null
 grep -q '"id":"parser/match_against_learned_set/1000"' "${smoke_json}"
@@ -62,17 +84,8 @@ echo "==> seqd smoke (start -> ingest -> /healthz -> shutdown)"
 ./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 1000 \
   --store "${seqd_store}/store" 2> "${seqd_log}" &
 seqd_pid=$!
-port=""
-for _ in $(seq 1 100); do
-  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${seqd_log}")
-  [[ -n "${port}" ]] && break
-  sleep 0.1
-done
-[[ -n "${port}" ]] || { echo "seqd did not come up" >&2; cat "${seqd_log}" >&2; exit 1; }
-exec 3<>"/dev/tcp/127.0.0.1/${port}"
-printf 'GET /healthz HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
-head -n1 <&3 | grep -q "200 OK"
-exec 3>&- 3<&-
+port=$(wait_seqd_port "${seqd_log}")
+seqd_http "${port}" GET /healthz
 # To a file, not a pipe: grep -q would close the pipe on first match and the
 # load generator's later status lines would die on EPIPE before the shutdown
 # request goes out.
@@ -82,6 +95,60 @@ grep -q '"received":2000,"accepted":2000' "${seqd_log}.loadgen"
 wait "${seqd_pid}"
 seqd_pid=""
 echo "    seqd smoke OK"
+
+echo "==> seqd crash-recovery smoke (kill -9 mid-batch -> restart -> WAL replay)"
+# Reference: the same fixed-seed corpus through a daemon that drains cleanly.
+# --batch-size far above the corpus keeps all 500 records in residue, so the
+# crashed run below dies with everything receipted but nothing flushed.
+./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 100000 \
+  --store "${seqd_store}/clean" 2> "${seqd_log}.clean" &
+seqd_pid=$!
+port=$(wait_seqd_port "${seqd_log}.clean")
+./target/release/seqd-loadgen --addr "127.0.0.1:${port}" --records 500 --seed 7 \
+  --shutdown > /dev/null
+wait "${seqd_pid}"
+seqd_pid=""
+
+# Crash run: ingest the corpus (the receipt means it is fsynced in the WAL),
+# then SIGKILL — no drain, no flush, no checkpoint.
+./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 100000 \
+  --store "${seqd_store}/crash" 2> "${seqd_log}.crash" &
+seqd_pid=$!
+port=$(wait_seqd_port "${seqd_log}.crash")
+./target/release/seqd-loadgen --addr "127.0.0.1:${port}" --records 500 --seed 7 \
+  > "${seqd_log}.crash.loadgen"
+grep -q '"received":500,"accepted":500' "${seqd_log}.crash.loadgen"
+kill -9 "${seqd_pid}"
+wait "${seqd_pid}" 2>/dev/null || true
+seqd_pid=""
+wal_bytes=$(cat "${seqd_store}/crash/ingest-wal/"*.wal | wc -c)
+[[ "${wal_bytes}" -gt 0 ]] || { echo "ingest WAL empty after kill -9" >&2; exit 1; }
+
+# Restart on the same store: the WAL must replay all 500 before the drain.
+./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 100000 \
+  --store "${seqd_store}/crash" 2> "${seqd_log}.recover" &
+seqd_pid=$!
+port=$(wait_seqd_port "${seqd_log}.recover")
+seqd_http "${port}" POST /shutdown
+wait "${seqd_pid}"
+seqd_pid=""
+# The drained counters must show the full replay and the intact invariant.
+grep -q 'drained — ingested 500 .* rejected 0 malformed 0 dropped 0 replayed 500' \
+  "${seqd_log}.recover" \
+  || { echo "recovery counters wrong:" >&2; cat "${seqd_log}.recover" >&2; exit 1; }
+# A fully-released WAL holds nothing for the next start.
+wal_bytes=$(cat "${seqd_store}/crash/ingest-wal/"*.wal | wc -c)
+[[ "${wal_bytes}" -eq 0 ]] || { echo "WAL not released after drain" >&2; exit 1; }
+# The recovered store equals the crash-free run (grok export is
+# deterministic per pattern: SHA1(pattern ‖ service) ids, no timestamps).
+./target/release/sequence-rtg --db "${seqd_store}/clean" --export grok --quiet \
+  < /dev/null | grep add_tag | sort > "${seqd_log}.clean.patterns"
+./target/release/sequence-rtg --db "${seqd_store}/crash" --export grok --quiet \
+  < /dev/null | grep add_tag | sort > "${seqd_log}.crash.patterns"
+[[ -s "${seqd_log}.clean.patterns" ]] || { echo "clean run mined nothing" >&2; exit 1; }
+diff -u "${seqd_log}.clean.patterns" "${seqd_log}.crash.patterns" \
+  || { echo "recovered store diverged from the crash-free run" >&2; exit 1; }
+echo "    crash-recovery smoke OK"
 
 echo "==> dependency audit: workspace crates only"
 # Every package cargo can see must live in this repository. A single

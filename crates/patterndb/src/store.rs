@@ -29,6 +29,9 @@ pub enum StoreError {
         /// Parse failure.
         err: sequence_core::PatternParseError,
     },
+    /// A failure injected by the test fault hook (see
+    /// [`PatternStore::set_fault_hook`]); never produced in production.
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for StoreError {
@@ -38,6 +41,7 @@ impl std::fmt::Display for StoreError {
             StoreError::BadPattern { id, err } => {
                 write!(f, "stored pattern {id} no longer parses: {err}")
             }
+            StoreError::Injected(op) => write!(f, "injected fault in store operation {op}"),
         }
     }
 }
@@ -84,10 +88,23 @@ impl StoredPattern {
     }
 }
 
+/// The fault-hook shape: called with the operation name before each write
+/// path; returning `true` injects [`StoreError::Injected`].
+pub type FaultHook = std::sync::Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
 /// The store: a thin typed layer over the [`minisql`] database.
-#[derive(Debug)]
 pub struct PatternStore {
     db: Database,
+    fault_hook: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for PatternStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternStore")
+            .field("db", &self.db)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 const SCHEMA: &[&str] = &[
@@ -115,7 +132,10 @@ impl PatternStore {
         for stmt in SCHEMA {
             db.execute(stmt).expect("schema DDL is valid");
         }
-        PatternStore { db }
+        PatternStore {
+            db,
+            fault_hook: None,
+        }
     }
 
     /// Open (or create) a persistent store rooted at the directory `path`.
@@ -124,11 +144,32 @@ impl PatternStore {
         for stmt in SCHEMA {
             db.execute(stmt)?;
         }
-        Ok(PatternStore { db })
+        Ok(PatternStore {
+            db,
+            fault_hook: None,
+        })
+    }
+
+    /// Install (or clear) a fault-injection hook for tests. The hook runs
+    /// before each write-path operation with its name (`"begin"`,
+    /// `"commit"`, `"upsert"`, `"record_matches"`, `"checkpoint"`);
+    /// returning `true` makes that call fail with [`StoreError::Injected`]
+    /// instead of touching the database. Read paths are never hooked, so an
+    /// injected store stays inspectable.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
+    }
+
+    /// Whether the fault hook asks operation `op` to fail.
+    fn fault_fires(&self, op: &str) -> bool {
+        self.fault_hook.as_ref().is_some_and(|h| h(op))
     }
 
     /// Checkpoint the underlying database (compact snapshot + truncate WAL).
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        if self.fault_fires("checkpoint") {
+            return Err(StoreError::Injected("checkpoint"));
+        }
         self.db.checkpoint()?;
         Ok(())
     }
@@ -136,12 +177,22 @@ impl PatternStore {
     /// Open a transaction spanning a whole batch's worth of updates, so a
     /// crash mid-batch never leaves half the batch's statistics behind.
     pub fn begin(&mut self) -> Result<(), StoreError> {
+        if self.fault_fires("begin") {
+            return Err(StoreError::Injected("begin"));
+        }
         self.db.execute("BEGIN")?;
         Ok(())
     }
 
-    /// Commit the open batch transaction.
+    /// Commit the open batch transaction. On failure the transaction is
+    /// torn down (rolled back), so the store stays usable for a retry.
     pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.fault_fires("commit") {
+            if self.db.in_transaction() {
+                let _ = self.db.execute("ROLLBACK");
+            }
+            return Err(StoreError::Injected("commit"));
+        }
         self.db.execute("COMMIT")?;
         Ok(())
     }
@@ -163,6 +214,9 @@ impl PatternStore {
         discovered: &DiscoveredPattern,
         now: u64,
     ) -> Result<(String, bool), StoreError> {
+        if self.fault_fires("upsert") {
+            return Err(StoreError::Injected("upsert"));
+        }
         let text = discovered.pattern.render();
         let id = pattern_id(&text, service);
         let existing = self.db.query_with(
@@ -223,6 +277,9 @@ impl PatternStore {
     /// Bump the match statistics of a pattern after the parser matched `n`
     /// messages against it.
     pub fn record_matches(&mut self, id: &str, n: u64, now: u64) -> Result<(), StoreError> {
+        if self.fault_fires("record_matches") {
+            return Err(StoreError::Injected("record_matches"));
+        }
         self.db.execute_with(
             "UPDATE patterns SET cnt = cnt + ?, last_matched = ? WHERE id = ?",
             &[(n as i64).into(), (now as i64).into(), id.into()],
@@ -481,6 +538,32 @@ mod tests {
         store.record_matches_bulk(&[], 100).unwrap();
         store.begin().unwrap();
         store.commit().unwrap();
+    }
+
+    #[test]
+    fn fault_hook_injects_and_failed_commit_leaves_store_usable() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut store = PatternStore::in_memory();
+        let (id, _) = store
+            .upsert_discovered("sshd", &sshd_patterns()[0], 1)
+            .unwrap();
+        let failing = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&failing);
+        store.set_fault_hook(Some(Arc::new(move |op: &str| {
+            op == "commit" && flag.load(Ordering::Relaxed)
+        })));
+        let counts = vec![(id.clone(), 5u64)];
+        match store.record_matches_bulk(&counts, 9) {
+            Err(StoreError::Injected("commit")) => {}
+            other => panic!("expected injected commit failure, got {other:?}"),
+        }
+        // The failed commit rolled back: statistics unchanged, and the
+        // transaction is closed so a retry can succeed.
+        assert_eq!(store.patterns(None).unwrap()[0].count, 3);
+        failing.store(false, Ordering::Relaxed);
+        store.record_matches_bulk(&counts, 9).unwrap();
+        assert_eq!(store.patterns(None).unwrap()[0].count, 8);
     }
 
     #[test]

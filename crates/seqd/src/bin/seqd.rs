@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! seqd [--addr HOST:PORT] [--store PATH] [--shards N] [--batch-size N]
-//!      [--queue-capacity N]
+//!      [--queue-capacity N] [--io-timeout-ms N] [--max-line-len N]
+//!      [--wal-dir PATH] [--wal-sync-every N] [--no-wal]
 //! ```
 //!
 //! With `--store` the pattern database is loaded from (and checkpointed back
-//! to) the given path; otherwise the daemon runs on an in-memory store and
-//! mined patterns live only for the process lifetime. The process exits after
-//! a `POST /shutdown` completes the drain.
+//! to) the given path, and the ingest WAL defaults to `<store>/ingest-wal`
+//! alongside it — so a killed daemon restarted on the same paths replays
+//! every receipted-but-unflushed record (`--no-wal` opts out, `--wal-dir`
+//! relocates it). Otherwise the daemon runs on an in-memory store with no
+//! WAL and mined patterns live only for the process lifetime. The process
+//! exits after a `POST /shutdown` completes the drain.
 
 use patterndb::PatternStore;
 use seqd::server::{start, SeqdConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7464".to_string();
     let mut store_path: Option<String> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut no_wal = false;
     let mut config = SeqdConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -33,10 +40,25 @@ fn main() -> ExitCode {
             "--queue-capacity" => {
                 config.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity")
             }
+            "--io-timeout-ms" => {
+                config.io_timeout = Duration::from_millis(parse(
+                    &value("--io-timeout-ms"),
+                    "--io-timeout-ms",
+                ) as u64)
+            }
+            "--max-line-len" => {
+                config.max_line_len = parse(&value("--max-line-len"), "--max-line-len")
+            }
+            "--wal-dir" => wal_dir = Some(value("--wal-dir")),
+            "--wal-sync-every" => {
+                config.wal_sync_every = parse(&value("--wal-sync-every"), "--wal-sync-every")
+            }
+            "--no-wal" => no_wal = true,
             "--help" | "-h" => {
                 println!(
                     "usage: seqd [--addr HOST:PORT] [--store PATH] [--shards N] \
-                     [--batch-size N] [--queue-capacity N]"
+                     [--batch-size N] [--queue-capacity N] [--io-timeout-ms N] \
+                     [--max-line-len N] [--wal-dir PATH] [--wal-sync-every N] [--no-wal]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -52,23 +74,50 @@ fn main() -> ExitCode {
         None => PatternStore::in_memory(),
     };
 
+    // Durability follows the store: a persistent store gets a WAL next to
+    // it unless opted out; an in-memory store has nothing to recover into.
+    config.wal_dir = if no_wal {
+        None
+    } else {
+        match (&wal_dir, &store_path) {
+            (Some(dir), _) => Some(dir.into()),
+            (None, Some(store)) => Some(std::path::Path::new(store).join("ingest-wal")),
+            (None, None) => None,
+        }
+    };
+
+    let shards = config.shards;
+    let batch_size = config.batch_size;
+    let wal_desc = config
+        .wal_dir
+        .as_ref()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| "disabled".to_string());
     let handle = match start(store, config, &addr) {
         Ok(h) => h,
         Err(e) => fail(&format!("cannot start daemon on {addr}: {e}")),
     };
     eprintln!(
-        "seqd: listening on {} ({} shards, batch {}, store {})",
+        "seqd: listening on {} ({} shards, batch {}, store {}, wal {})",
         handle.addr(),
-        config.shards,
-        config.batch_size,
+        shards,
+        batch_size,
         store_path.as_deref().unwrap_or("in-memory"),
+        wal_desc,
     );
 
     match handle.join() {
         Ok(ops) => {
             eprintln!(
-                "seqd: drained — ingested {} matched {} unmatched {} rejected {} malformed {}",
-                ops.ingested, ops.matched, ops.unmatched, ops.rejected, ops.malformed
+                "seqd: drained — ingested {} matched {} unmatched {} rejected {} \
+                 malformed {} dropped {} replayed {}",
+                ops.ingested,
+                ops.matched,
+                ops.unmatched,
+                ops.rejected,
+                ops.malformed,
+                ops.dropped,
+                ops.replayed
             );
             ExitCode::SUCCESS
         }

@@ -23,6 +23,11 @@
 //!   simulation, so both report identical metric names and the core
 //!   invariant `ingested = matched + unmatched + rejected + malformed`
 //!   can be checked in either world.
+//! * **Durability** ([`wal`]): an optional per-shard ingest write-ahead log.
+//!   Accepted records are appended (fsync-batched) before the NDJSON
+//!   receipt is written, released after their residue flush commits, and
+//!   replayed into the shard workers on start — so a `kill -9` between
+//!   receipt and flush loses nothing (at-least-once; see `DESIGN.md` §8).
 //!
 //! ```no_run
 //! use patterndb::PatternStore;
@@ -47,6 +52,7 @@ pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod swap;
+pub mod wal;
 
 pub use metrics::{Ops, OpsSnapshot};
 pub use protocol::IngestSummary;

@@ -13,13 +13,25 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+/// Client-side socket deadline: generous (the daemon may legitimately take
+/// a while to drain before receipting), but bounded — a wedged daemon must
+/// not hang the client forever.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+    Ok(stream)
+}
+
 /// Replay raw NDJSON lines (already-serialised records) to the daemon and
 /// return its receipt.
 pub fn replay_lines<'a>(
     addr: impl ToSocketAddrs,
     lines: impl Iterator<Item = &'a str>,
 ) -> io::Result<IngestSummary> {
-    let stream = TcpStream::connect(addr)?;
+    let stream = connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     for line in lines {
         writer.write_all(line.as_bytes())?;
@@ -59,7 +71,7 @@ pub fn control_post(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> 
 }
 
 fn control_request(addr: impl ToSocketAddrs, method: &str, path: &str) -> io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
+    let mut stream = connect(addr)?;
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: seqd\r\nConnection: close\r\n\r\n"

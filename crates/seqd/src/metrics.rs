@@ -25,8 +25,17 @@ pub struct Ops {
     /// Records refused because a shard queue stayed full past the
     /// backpressure timeout (or the daemon was shutting down).
     pub rejected: AtomicU64,
-    /// Lines that were not valid `{service, message}` JSON.
+    /// Lines that were not valid `{service, message}` JSON (including
+    /// lines over the ingest length cap).
     pub malformed: AtomicU64,
+    /// Residue records abandoned after the bounded flush-retry budget was
+    /// exhausted. A subset of `unmatched` — the invariant is untouched —
+    /// but any nonzero value means mining lost data and deserves an alert.
+    pub dropped: AtomicU64,
+    /// Records recovered from the ingest WAL at start (a subset of
+    /// `ingested`: replayed records count as ingested again in this
+    /// process, since their original receipt was issued by the dead one).
+    pub replayed: AtomicU64,
     /// Pattern-set publications (one per service per re-mine).
     pub swaps: AtomicU64,
     /// Re-mining runs (residue flushes through the analyser).
@@ -69,6 +78,8 @@ impl Ops {
             unmatched: self.unmatched.load(Relaxed),
             rejected: self.rejected.load(Relaxed),
             malformed: self.malformed.load(Relaxed),
+            dropped: self.dropped.load(Relaxed),
+            replayed: self.replayed.load(Relaxed),
             swaps: self.swaps.load(Relaxed),
             remines: self.remines.load(Relaxed),
             remine_ns_total: self.remine_ns_total.load(Relaxed),
@@ -90,6 +101,10 @@ pub struct OpsSnapshot {
     pub rejected: u64,
     /// See [`Ops::malformed`].
     pub malformed: u64,
+    /// See [`Ops::dropped`].
+    pub dropped: u64,
+    /// See [`Ops::replayed`].
+    pub replayed: u64,
     /// See [`Ops::swaps`].
     pub swaps: u64,
     /// See [`Ops::remines`].
@@ -147,6 +162,16 @@ impl OpsSnapshot {
             "seqd_malformed_total",
             "Lines that were not valid records",
             self.malformed,
+        );
+        counter(
+            "seqd_dropped_total",
+            "Residue records abandoned after flush retries",
+            self.dropped,
+        );
+        counter(
+            "seqd_replayed_total",
+            "Records recovered from the ingest WAL at start",
+            self.replayed,
         );
         counter(
             "seqd_pattern_swaps_total",
@@ -216,6 +241,8 @@ mod tests {
             "seqd_unmatched_total 0",
             "seqd_rejected_total 0",
             "seqd_malformed_total 0",
+            "seqd_dropped_total 0",
+            "seqd_replayed_total 0",
             "seqd_pattern_swaps_total 0",
             "seqd_remine_runs_total 1",
             "seqd_remine_seconds_total 0.005",

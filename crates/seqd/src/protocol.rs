@@ -10,12 +10,26 @@
 //! full past the backpressure timeout) and malformed lines are *counted, not
 //! fatal*: one bad producer must not sever the connection for the rest of
 //! its buffer.
+//!
+//! Two hostile-input defences live here:
+//!
+//! * **Line cap** — [`read_line_capped`] never buffers more than the cap,
+//!   so a client streaming bytes with no newline cannot OOM the daemon.
+//!   Oversized lines are discarded to their terminator, counted
+//!   `malformed`, and the connection stays alive.
+//! * **Deadlines** — the server arms `set_read_timeout` on every socket; a
+//!   timed-out read surfaces as `WouldBlock`/`TimedOut`, which ends the
+//!   stream early: the receipt for everything processed so far is still
+//!   sent, and the idle peer is cut loose instead of pinning a thread.
+//!
+//! When the router carries an ingest WAL, it is fsynced *before* the
+//! receipt is written — a receipt is a durability promise.
 
 use crate::metrics::Ops;
 use crate::shard::Router;
 use jsonlite::Value;
 use sequence_rtg::LogRecord;
-use std::io::{BufRead, Write};
+use std::io::{self, BufRead, ErrorKind, Write};
 
 /// Per-connection ingest counters, echoed back as the summary line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,7 +40,8 @@ pub struct IngestSummary {
     pub accepted: u64,
     /// Records rejected by backpressure (or during drain).
     pub rejected: u64,
-    /// Lines that did not parse as a `{service, message}` record.
+    /// Lines that did not parse as a `{service, message}` record (including
+    /// lines over the length cap).
     pub malformed: u64,
 }
 
@@ -57,21 +72,149 @@ impl IngestSummary {
     }
 }
 
-/// Serve one ingest connection: read NDJSON until EOF, route records, write
-/// the summary. Returns the summary for logging.
+/// Outcome of one capped line read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Clean end of stream before any byte of a new line.
+    Eof,
+    /// One line, terminator included (or an EOF-terminated final fragment).
+    Line(String),
+    /// The line exceeded the cap; its bytes were discarded through the
+    /// terminator (or EOF) without being buffered.
+    Oversized,
+}
+
+/// Read one line of at most `cap` bytes (terminator included), never
+/// buffering more than the cap. `Interrupted` reads are retried; any other
+/// error (including a socket deadline's `WouldBlock`) is returned to the
+/// caller with at most one buffered line's worth of state lost.
+pub fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<LineOutcome> {
+    enum Step {
+        /// A partial line (no terminator yet) was absorbed into `buf`.
+        Absorbed,
+        /// A full line (or an Oversized verdict) is ready.
+        Done(LineOutcome),
+        /// The cap was exceeded mid-line: discard through the terminator.
+        Overflow,
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        // `fill_buf`'s borrow of `reader` must end before `consume`, hence
+        // the (bytes-to-consume, step) pair computed inside this scope.
+        let (consume, step) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                let out = if buf.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+                };
+                return Ok(out);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if buf.len() + i + 1 > cap {
+                        (i + 1, Step::Done(LineOutcome::Oversized))
+                    } else {
+                        buf.extend_from_slice(&available[..=i]);
+                        (
+                            i + 1,
+                            Step::Done(LineOutcome::Line(
+                                String::from_utf8_lossy(&buf).into_owned(),
+                            )),
+                        )
+                    }
+                }
+                None => {
+                    let n = available.len();
+                    if buf.len() + n > cap {
+                        (n, Step::Overflow)
+                    } else {
+                        buf.extend_from_slice(available);
+                        (n, Step::Absorbed)
+                    }
+                }
+            }
+        };
+        reader.consume(consume);
+        match step {
+            Step::Absorbed => {}
+            Step::Done(out) => return Ok(out),
+            Step::Overflow => {
+                discard_to_newline(reader)?;
+                return Ok(LineOutcome::Oversized);
+            }
+        }
+    }
+}
+
+/// Consume bytes up to and including the next `\n` (or EOF) without
+/// buffering them.
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let (n, done) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(()); // EOF ends the oversized line too
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => (i + 1, true),
+                None => (available.len(), false),
+            }
+        };
+        reader.consume(n);
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Serve one ingest connection: read NDJSON until EOF (or the socket
+/// deadline), route records, sync the WAL, write the summary. Lines longer
+/// than `max_line_len` are counted malformed without severing the
+/// connection; `oversized_carry` pre-counts one such line consumed by the
+/// caller's protocol sniffing. Returns the summary for logging.
 pub fn serve_ingest<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
     router: &Router,
     ops: &Ops,
+    max_line_len: usize,
+    oversized_carry: bool,
 ) -> std::io::Result<IngestSummary> {
     let mut summary = IngestSummary::default();
-    let mut line = String::new();
+    let count_malformed = |summary: &mut IngestSummary| {
+        summary.received += 1;
+        summary.malformed += 1;
+        Ops::inc(&ops.ingested);
+        Ops::inc(&ops.malformed);
+    };
+    if oversized_carry {
+        count_malformed(&mut summary);
+    }
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // client half-closed: stream complete
-        }
+        let line = match read_line_capped(reader, max_line_len) {
+            Ok(LineOutcome::Eof) => break, // client half-closed: stream complete
+            Ok(LineOutcome::Line(line)) => line,
+            Ok(LineOutcome::Oversized) => {
+                count_malformed(&mut summary);
+                continue;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // The socket deadline expired on an idle peer: end the
+                // stream here and receipt what was processed.
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         // `trim` strips the `\n` / `\r\n` terminator (and stray blanks), so
         // CRLF producers never leak a `\r` into the parsed message.
         let trimmed = line.trim();
@@ -94,6 +237,9 @@ pub fn serve_ingest<R: BufRead, W: Write>(
             }
         }
     }
+    // The durability barrier: accepted records hit disk before the client
+    // hears "accepted".
+    router.sync_wal()?;
     writer.write_all(summary.to_json_line().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
@@ -104,11 +250,14 @@ pub fn serve_ingest<R: BufRead, W: Write>(
 mod tests {
     use super::*;
     use crate::queue::BoundedQueue;
+    use crate::wal::Accepted;
     use std::io::Cursor;
     use std::sync::Arc;
     use std::time::Duration;
 
-    fn router(capacity: usize) -> (Router, Arc<Ops>, Vec<Arc<BoundedQueue<LogRecord>>>) {
+    const CAP: usize = 1 << 20;
+
+    fn router(capacity: usize) -> (Router, Arc<Ops>, Vec<Arc<BoundedQueue<Accepted>>>) {
         let queues = vec![Arc::new(BoundedQueue::new(capacity))];
         let ops = Arc::new(Ops::new());
         (
@@ -143,7 +292,8 @@ mod tests {
             "\n",
         );
         let mut out = Vec::new();
-        let summary = serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops).unwrap();
+        let summary =
+            serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops, CAP, false).unwrap();
         assert_eq!(
             summary,
             IngestSummary {
@@ -169,14 +319,14 @@ mod tests {
         let (router, ops, queues) = router(64);
         let input = "{\"service\":\"win\",\"message\":\"event viewer ok\"}\r\n";
         let mut out = Vec::new();
-        serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops).unwrap();
-        let record = queues[0]
+        serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops, CAP, false).unwrap();
+        let accepted = queues[0]
             .pop_timeout(Duration::from_millis(10))
             .unwrap()
             .unwrap();
-        assert_eq!(record.message, "event viewer ok");
-        assert!(!record.message.contains('\r'));
-        assert!(!record.service.contains('\r'));
+        assert_eq!(accepted.record.message, "event viewer ok");
+        assert!(!accepted.record.message.contains('\r'));
+        assert!(!accepted.record.service.contains('\r'));
     }
 
     #[test]
@@ -189,7 +339,8 @@ mod tests {
             ));
         }
         let mut out = Vec::new();
-        let summary = serve_ingest(&mut Cursor::new(lines), &mut out, &router, &ops).unwrap();
+        let summary =
+            serve_ingest(&mut Cursor::new(lines), &mut out, &router, &ops, CAP, false).unwrap();
         assert_eq!(summary.accepted, 1);
         assert_eq!(summary.rejected, 3);
         assert_eq!(ops.snapshot().rejected, 3);
@@ -197,5 +348,97 @@ mod tests {
         // the slot, nothing processed yet.
         let s = ops.snapshot();
         assert_eq!(s.ingested, s.rejected + s.malformed + 1 /* queued */);
+    }
+
+    /// The unbounded-buffer fix: a line over the cap is counted malformed,
+    /// never buffered whole, and later lines on the same connection still
+    /// go through.
+    #[test]
+    fn oversized_line_is_malformed_and_connection_survives() {
+        let (router, ops, queues) = router(64);
+        let cap = 64;
+        let huge = format!(
+            "{{\"service\":\"svc\",\"message\":\"{}\"}}\n",
+            "x".repeat(1 << 16)
+        );
+        let after = r#"{"service":"svc","message":"still alive"}"#;
+        let input = format!("{huge}{after}\n");
+        let mut out = Vec::new();
+        let summary =
+            serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops, cap, false).unwrap();
+        assert_eq!(
+            summary,
+            IngestSummary {
+                received: 2,
+                accepted: 1,
+                rejected: 0,
+                malformed: 1,
+            }
+        );
+        let accepted = queues[0]
+            .pop_timeout(Duration::from_millis(10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(accepted.record.message, "still alive");
+        // The accepted record is still in flight (no worker); everything
+        // else is accounted for.
+        assert_eq!(ops.snapshot().in_flight(), 1);
+    }
+
+    /// A terminator-less stream over the cap (the OOM attack) is bounded:
+    /// discarded, counted once, receipt still sent at EOF.
+    #[test]
+    fn unterminated_flood_is_bounded_and_counted() {
+        let (router, ops, queues) = router(64);
+        let input = "y".repeat(1 << 16); // no newline at all
+        let mut out = Vec::new();
+        let summary =
+            serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops, 128, false).unwrap();
+        assert_eq!(summary.received, 1);
+        assert_eq!(summary.malformed, 1);
+        assert_eq!(queues[0].depth(), 0);
+        assert!(ops.snapshot().reconciles());
+    }
+
+    /// The oversized carry from protocol sniffing is pre-counted.
+    #[test]
+    fn oversized_carry_counts_in_receipt() {
+        let (router, ops, _queues) = router(64);
+        let input = r#"{"service":"svc","message":"after the flood"}
+"#;
+        let mut out = Vec::new();
+        let summary =
+            serve_ingest(&mut Cursor::new(input), &mut out, &router, &ops, CAP, true).unwrap();
+        assert_eq!(summary.received, 2);
+        assert_eq!(summary.malformed, 1);
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(ops.snapshot().in_flight(), 1, "the accepted record");
+    }
+
+    #[test]
+    fn read_line_capped_eof_and_fragments() {
+        let mut r = Cursor::new("short\nno-terminator");
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineOutcome::Line("short\n".into())
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineOutcome::Line("no-terminator".into()),
+            "an EOF-terminated fragment is still a line"
+        );
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineOutcome::Eof);
+    }
+
+    #[test]
+    fn read_line_capped_exact_cap_passes() {
+        let mut r = Cursor::new("abcd\nabcde\n");
+        assert_eq!(
+            read_line_capped(&mut r, 5).unwrap(),
+            LineOutcome::Line("abcd\n".into()),
+            "terminator included, exactly at cap"
+        );
+        assert_eq!(read_line_capped(&mut r, 5).unwrap(), LineOutcome::Oversized);
+        assert_eq!(read_line_capped(&mut r, 5).unwrap(), LineOutcome::Eof);
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //!              ┌────────────────────────────── seqd ───────────────────────────────┐
 //!   NDJSON ──▶ │ acceptor ─▶ router ─▶ [bounded queue]×N ─▶ shard workers          │
-//!   HTTP   ──▶ │    │                                        │  match via Arc set  │
+//!   HTTP   ──▶ │    │          │ WAL                         │  match via Arc set  │
 //!              │    └─▶ control plane (/healthz /stats        │  residue ─▶ re-mine │
 //!              │         /metrics /patterns /shutdown)        └─▶ publish swap ──┐  │
 //!              │                                   PatternBoard ◀───────────────┘  │
@@ -15,30 +15,45 @@
 //! means HTTP control plane, anything else is an NDJSON ingest stream — so
 //! one port serves both, like any modern single-binary daemon.
 //!
+//! Every accepted socket is armed with read/write deadlines
+//! ([`SeqdConfig::io_timeout`]): an idle or stalled peer surfaces as a
+//! `WouldBlock`/`TimedOut` read, the handler receipts what it processed and
+//! returns, and the connection thread exits — a slow-loris client cannot pin
+//! a thread or delay shutdown past the deadline.
+//!
+//! With [`SeqdConfig::wal_dir`] set, accepted records are written to a
+//! per-shard ingest WAL and fsynced before the connection receipt, then
+//! released after their residue flush; on start, leftover WAL records are
+//! replayed into the shard workers (see `DESIGN.md` §8 for the exact
+//! guarantees).
+//!
 //! `POST /shutdown` (or [`SeqdHandle::initiate_shutdown`]) starts the drain:
 //! the acceptor stops, queues close (late pushes reject), each worker drains
 //! its queue and flushes its residue through one final analysis, and
-//! [`SeqdHandle::join`] checkpoints the store before returning the final
-//! counter snapshot.
+//! [`SeqdHandle::join`] waits out in-flight connections (bounded by the
+//! deadline) and checkpoints the store before returning the final counter
+//! snapshot.
 
 use crate::http::{respond, Request};
 use crate::metrics::{Ops, OpsSnapshot};
-use crate::protocol::serve_ingest;
+use crate::protocol::{read_line_capped, serve_ingest, LineOutcome};
 use crate::queue::BoundedQueue;
 use crate::shard::{Router, ShardWorker};
 use crate::swap::PatternBoard;
+use crate::wal::IngestWal;
 use jsonlite::Value;
 use patterndb::PatternStore;
 use sequence_rtg::{RtgConfig, SequenceRtg};
-use std::io::{self, BufRead, BufReader, BufWriter, Read};
+use std::io::{self, BufReader, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Daemon configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeqdConfig {
     /// Worker threads; each owns a disjoint slice of the service space.
     pub shards: usize,
@@ -49,6 +64,24 @@ pub struct SeqdConfig {
     pub queue_capacity: usize,
     /// How long ingest blocks on a full shard queue before rejecting.
     pub enqueue_timeout: Duration,
+    /// Longest accepted ingest line, terminator included; longer lines are
+    /// counted `malformed` and discarded without being buffered.
+    pub max_line_len: usize,
+    /// Socket read/write deadline for every accepted connection.
+    /// `Duration::ZERO` disables deadlines (not recommended outside tests:
+    /// a stalled peer then pins its thread until it closes).
+    pub io_timeout: Duration,
+    /// Directory for the per-shard ingest WAL; `None` disables durability
+    /// (a crash loses queued-but-unflushed records, as pre-WAL seqd did).
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync the WAL after this many appends (the receipt path always
+    /// syncs, so this only bounds work lost to an *OS* crash mid-stream).
+    pub wal_sync_every: usize,
+    /// Extra flush attempts after the first store failure before a residue
+    /// batch is abandoned (counted in `dropped`).
+    pub flush_retries: u32,
+    /// Backoff before the first flush retry; doubles per attempt.
+    pub flush_backoff: Duration,
     /// Mining configuration. `save_threshold` should stay 0 for the daemon:
     /// store-wide pruning from one shard would silently invalidate sets
     /// owned by the others (prune offline, between runs, instead).
@@ -62,6 +95,12 @@ impl Default for SeqdConfig {
             batch_size: 5_000,
             queue_capacity: 10_000,
             enqueue_timeout: Duration::from_millis(250),
+            max_line_len: 1 << 20,
+            io_timeout: Duration::from_secs(30),
+            wal_dir: None,
+            wal_sync_every: 256,
+            flush_retries: 3,
+            flush_backoff: Duration::from_millis(50),
             rtg: RtgConfig {
                 batch_size: 5_000,
                 save_threshold: 0,
@@ -77,9 +116,23 @@ struct Shared {
     engine: Arc<Mutex<SequenceRtg>>,
     router: Arc<Router>,
     residues: Vec<Arc<AtomicUsize>>,
+    wal: Option<Arc<IngestWal>>,
+    connections: AtomicUsize,
+    io_timeout: Duration,
+    max_line_len: usize,
     shutdown: AtomicBool,
     started: Instant,
     addr: SocketAddr,
+}
+
+/// Decrements the live-connection gauge when a connection thread exits —
+/// or when its spawn failed and the closure is dropped unrun.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon. Dropping the handle without [`SeqdHandle::join`] leaves
@@ -92,7 +145,9 @@ pub struct SeqdHandle {
 
 /// Start the daemon on `addr` (use port 0 for an ephemeral port) over the
 /// given pattern store. Patterns already in the store are published to the
-/// matching plane immediately.
+/// matching plane immediately. With a WAL directory configured, records
+/// left in the log by a previous crash are replayed into the workers
+/// before live traffic.
 pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<SeqdHandle> {
     let engine = SequenceRtg::new(store, config.rtg)
         .map_err(|e| io::Error::other(format!("pattern store load failed: {e}")))?;
@@ -102,14 +157,20 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     let ops = Arc::new(Ops::new());
 
     let shards = config.shards.max(1);
+    let (wal, mut replays) = match &config.wal_dir {
+        Some(dir) => {
+            let (wal, replays) = IngestWal::open(dir, shards, config.wal_sync_every)?;
+            (Some(Arc::new(wal)), replays)
+        }
+        None => (None, vec![Vec::new(); shards]),
+    };
+
     let queues: Vec<_> = (0..shards)
         .map(|_| Arc::new(BoundedQueue::new(config.queue_capacity)))
         .collect();
-    let router = Arc::new(Router::new(
-        queues.clone(),
-        Arc::clone(&ops),
-        config.enqueue_timeout,
-    ));
+    let router = Arc::new(
+        Router::new(queues.clone(), Arc::clone(&ops), config.enqueue_timeout).with_wal(wal.clone()),
+    );
     let residues: Vec<_> = (0..shards).map(|_| Arc::new(AtomicUsize::new(0))).collect();
 
     let listener = TcpListener::bind(addr)?;
@@ -121,6 +182,10 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         engine: Arc::clone(&engine),
         router: Arc::clone(&router),
         residues: residues.clone(),
+        wal: wal.clone(),
+        connections: AtomicUsize::new(0),
+        io_timeout: config.io_timeout,
+        max_line_len: config.max_line_len.max(16),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         addr: local_addr,
@@ -136,6 +201,10 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
                 ops: Arc::clone(&ops),
                 batch_size: config.batch_size.max(1),
                 residue_len: Arc::clone(&residues[shard_id]),
+                wal: wal.clone(),
+                replay: std::mem::take(&mut replays[shard_id]),
+                flush_retries: config.flush_retries,
+                flush_backoff: config.flush_backoff,
             };
             std::thread::Builder::new()
                 .name(format!("seqd-shard-{shard_id}"))
@@ -154,10 +223,20 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Arm the deadlines before any handler byte is read;
+                    // `Some(ZERO)` is an error to the socket API, so ZERO
+                    // means "no deadline" here.
+                    if !shared.io_timeout.is_zero() {
+                        let _ = stream.set_read_timeout(Some(shared.io_timeout));
+                        let _ = stream.set_write_timeout(Some(shared.io_timeout));
+                    }
+                    shared.connections.fetch_add(1, Ordering::SeqCst);
+                    let guard = ConnGuard(Arc::clone(&shared));
                     let shared = Arc::clone(&shared);
                     let _ = std::thread::Builder::new()
                         .name("seqd-conn".to_string())
                         .spawn(move || {
+                            let _guard = guard;
                             if let Err(e) = serve_connection(stream, &shared) {
                                 // Peer resets are routine; anything else is
                                 // still not worth killing the daemon over.
@@ -197,8 +276,11 @@ impl SeqdHandle {
     /// Wait for the drain to complete (blocks until a shutdown has been
     /// initiated by either [`SeqdHandle::initiate_shutdown`] or
     /// `POST /shutdown`), then checkpoint the store and return the final
-    /// counters. After `join` returns, every accepted record is accounted
-    /// for: `ingested = matched + unmatched + rejected + malformed`.
+    /// counters. In-flight connections get a bounded grace period — at most
+    /// one io-deadline plus change — so a stalled peer cannot delay
+    /// shutdown indefinitely. After `join` returns, every accepted record
+    /// is accounted for: `ingested = matched + unmatched + rejected +
+    /// malformed`.
     pub fn join(self) -> io::Result<OpsSnapshot> {
         self.acceptor
             .join()
@@ -206,6 +288,13 @@ impl SeqdHandle {
         for w in self.workers {
             w.join()
                 .map_err(|_| io::Error::other("shard worker panicked"))?;
+        }
+        // Give in-flight connection threads one deadline's worth of time to
+        // notice the drain (their routes now reject) and receipt out.
+        let grace = self.shared.io_timeout.max(Duration::from_secs(1)) + Duration::from_secs(1);
+        let waited = Instant::now();
+        while self.shared.connections.load(Ordering::SeqCst) > 0 && waited.elapsed() < grace {
+            std::thread::sleep(Duration::from_millis(5));
         }
         let mut engine = self
             .shared
@@ -236,8 +325,33 @@ fn initiate_shutdown(shared: &Shared) {
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut tcp_reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut first = String::new();
-    tcp_reader.read_line(&mut first)?;
+    let first = match read_line_capped(&mut tcp_reader, shared.max_line_len) {
+        Ok(LineOutcome::Eof) => return Ok(()), // connect-and-close probe
+        Ok(LineOutcome::Line(line)) => line,
+        Ok(LineOutcome::Oversized) => {
+            // A flood with no plausible HTTP request line: treat the rest
+            // as ingest, with the oversized line pre-counted malformed.
+            return serve_ingest(
+                &mut tcp_reader,
+                &mut writer,
+                &shared.router,
+                &shared.ops,
+                shared.max_line_len,
+                true,
+            )
+            .map(|_| ());
+        }
+        // The peer connected and went quiet past the deadline: drop it.
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(())
+        }
+        Err(e) => return Err(e),
+    };
     // Method prefix alone decides: a malformed HTTP-ish line must still go
     // to the control plane (which answers 400 and closes) — the ingest path
     // would wait for a half-close that an HTTP client never sends.
@@ -248,7 +362,15 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     if is_http {
         serve_control(&mut reader, &mut writer, shared)
     } else {
-        serve_ingest(&mut reader, &mut writer, &shared.router, &shared.ops).map(|_| ())
+        serve_ingest(
+            &mut reader,
+            &mut writer,
+            &shared.router,
+            &shared.ops,
+            shared.max_line_len,
+            false,
+        )
+        .map(|_| ())
     }
 }
 
@@ -280,6 +402,20 @@ fn serve_control<R: io::BufRead, W: io::Write>(
                     "seqd_residue_len{{shard=\"{i}\"}} {}\n",
                     r.load(Ordering::Relaxed)
                 ));
+            }
+            body.push_str(&format!(
+                "# HELP seqd_open_connections Connection threads currently live\n\
+                 # TYPE seqd_open_connections gauge\nseqd_open_connections {}\n",
+                shared.connections.load(Ordering::SeqCst)
+            ));
+            if let Some(wal) = &shared.wal {
+                body.push_str(
+                    "# HELP seqd_wal_pending Unreleased records in each shard's ingest WAL\n\
+                     # TYPE seqd_wal_pending gauge\n",
+                );
+                for (i, d) in wal.depths().iter().enumerate() {
+                    body.push_str(&format!("seqd_wal_pending{{shard=\"{i}\"}} {d}\n"));
+                }
             }
             body.push_str(&format!(
                 "# HELP seqd_uptime_seconds Seconds since daemon start\n\
@@ -328,6 +464,7 @@ fn stats_json(shared: &Shared) -> String {
         .try_lock()
         .ok()
         .and_then(|mut e| e.store_mut().pattern_count().ok());
+    let wal_pending: Option<usize> = shared.wal.as_ref().map(|w| w.depths().iter().sum());
     let obj = jsonlite::object::<&str, Value>([
         (
             "uptime_seconds",
@@ -338,8 +475,18 @@ fn stats_json(shared: &Shared) -> String {
         ("unmatched", (s.unmatched as i64).into()),
         ("rejected", (s.rejected as i64).into()),
         ("malformed", (s.malformed as i64).into()),
+        ("dropped", (s.dropped as i64).into()),
+        ("replayed", (s.replayed as i64).into()),
         ("in_flight", (s.in_flight() as i64).into()),
         ("residue", (residue_total as i64).into()),
+        (
+            "open_connections",
+            (shared.connections.load(Ordering::SeqCst) as i64).into(),
+        ),
+        (
+            "wal_pending",
+            wal_pending.map_or(Value::Null, |n| Value::from(n as i64)),
+        ),
         ("pattern_swaps", (s.swaps as i64).into()),
         ("remine_runs", (s.remines as i64).into()),
         (
@@ -459,10 +606,18 @@ mod tests {
         let v = jsonlite::parse(&stats).unwrap();
         assert_eq!(v.get("ingested").unwrap().as_i64(), Some(20));
         assert_eq!(v.get("in_flight").unwrap().as_i64(), Some(0));
+        assert_eq!(v.get("dropped").unwrap().as_i64(), Some(0));
+        assert_eq!(v.get("replayed").unwrap().as_i64(), Some(0));
+        assert_eq!(
+            v.get("wal_pending").unwrap().as_i64(),
+            None,
+            "no WAL configured"
+        );
 
         let (_, metrics) = get(addr, "/metrics");
         assert!(metrics.contains("seqd_ingested_total 20"), "{metrics}");
         assert!(metrics.contains("seqd_uptime_seconds"), "{metrics}");
+        assert!(metrics.contains("seqd_open_connections"), "{metrics}");
 
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
@@ -526,5 +681,56 @@ mod tests {
         assert_eq!(status, 200);
         handle.initiate_shutdown();
         handle.join().unwrap();
+    }
+
+    /// The slow-loris regression this PR fixes: a client that connects,
+    /// sends half a line, and goes silent used to pin its handler thread in
+    /// a deadline-less `read_line` forever. With deadlines armed, shutdown
+    /// completes within the configured timeout plus grace — not "whenever
+    /// the peer feels like closing".
+    #[test]
+    fn stalled_client_cannot_delay_shutdown_past_the_deadline() {
+        let io_timeout = Duration::from_millis(200);
+        let handle = start(
+            PatternStore::in_memory(),
+            SeqdConfig {
+                shards: 1,
+                io_timeout,
+                ..SeqdConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // The loris: a partial NDJSON line, never terminated, socket held
+        // open for the whole test.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris
+            .write_all(br#"{"service":"svc","message":"never finis"#)
+            .unwrap();
+
+        // Real traffic still flows while the loris dangles.
+        let summary = loadgen::replay_lines(
+            addr,
+            [r#"{"service":"svc","message":"normal record"}"#].into_iter(),
+        )
+        .unwrap();
+        assert_eq!(summary.accepted, 1);
+        loadgen::wait_until_processed(addr, 1, Duration::from_secs(10)).unwrap();
+
+        let (status, _) = http(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let shutdown_started = Instant::now();
+        let finals = handle.join().unwrap();
+        assert!(
+            shutdown_started.elapsed() < Duration::from_secs(5),
+            "join blocked on the stalled client: {:?}",
+            shutdown_started.elapsed()
+        );
+        assert!(finals.reconciles(), "{finals:?}");
+        // The loris's partial line was never a received record.
+        assert_eq!(finals.ingested, 1);
+        drop(loris);
     }
 }

@@ -1,0 +1,150 @@
+//! The kill-and-recover acceptance test: no receipted record is lost to
+//! `kill -9`.
+//!
+//! A real `seqd` subprocess is started with a persistent store (which turns
+//! the ingest WAL on), fed a corpus whose receipt confirms every record was
+//! accepted *and fsynced*, then SIGKILLed before its residue ever flushes
+//! (the batch size is set far above the corpus). A second daemon — in
+//! process, same store and WAL directory — must replay the log, mine every
+//! record, reconcile its counters, and end up with exactly the pattern sets
+//! a crash-free offline run produces.
+
+use seqd::loadgen;
+use seqd::server::{start, SeqdConfig};
+use sequence_rtg::{LogRecord, SequenceRtg};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+
+fn corpus(total: usize) -> Vec<LogRecord> {
+    loghub_synth::generate_stream(loghub_synth::CorpusConfig {
+        services: 5,
+        total,
+        seed: 4242,
+    })
+    .into_iter()
+    .map(|item| LogRecord::new(item.service, item.message))
+    .collect()
+}
+
+/// The (service, rendered pattern, match count) triples in a store — the
+/// daemon and the offline reference must agree on all three.
+fn pattern_triples(engine: &mut SequenceRtg) -> BTreeSet<(String, String, u64)> {
+    engine
+        .store_mut()
+        .patterns(None)
+        .expect("patterns")
+        .into_iter()
+        .map(|p| (p.service, p.pattern_text, p.count))
+        .collect()
+}
+
+#[test]
+fn kill_dash_nine_loses_no_receipted_record() {
+    const N: usize = 600;
+    let corpus = corpus(N);
+
+    let dir = std::env::temp_dir().join(format!("seqd-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let wal_dir = store_dir.join("ingest-wal");
+
+    // --- Phase 1: a real subprocess, WAL on (follows --store), batch size
+    // far above the corpus so nothing flushes before the kill.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_seqd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--batch-size",
+            "100000",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn seqd");
+    let addr: SocketAddr = {
+        let stderr = BufReader::new(child.stderr.take().expect("child stderr"));
+        let mut found = None;
+        for line in stderr.lines() {
+            let line = line.expect("read child stderr");
+            if let Some(rest) = line.strip_prefix("seqd: listening on ") {
+                let addr = rest.split_whitespace().next().unwrap();
+                found = Some(addr.parse().expect("listen addr"));
+                break;
+            }
+        }
+        found.expect("seqd never announced its address")
+    };
+
+    // The receipt is the durability promise: once it says `accepted`, the
+    // records are in the fsynced WAL.
+    let receipt = loadgen::replay_records(addr, &corpus).expect("replay");
+    assert_eq!(receipt.accepted, N as u64, "receipt: {receipt:?}");
+    assert_eq!(receipt.rejected + receipt.malformed, 0);
+
+    // --- The crash: SIGKILL, no drain, no checkpoint.
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    let wal_bytes: u64 = std::fs::read_dir(&wal_dir)
+        .expect("wal dir exists")
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    assert!(
+        wal_bytes > 0,
+        "the WAL must still hold the receipted corpus"
+    );
+
+    // --- Phase 2: restart on the same data. Every logged record is
+    // replayed into the workers and mined at the drain flush.
+    let config = SeqdConfig {
+        shards: 2,
+        batch_size: 100_000,
+        wal_dir: Some(wal_dir.clone()),
+        ..SeqdConfig::default()
+    };
+    let rtg = config.rtg;
+    let store = patterndb::PatternStore::open(&store_dir).expect("reopen store");
+    let handle = start(store, config, "127.0.0.1:0").expect("restart");
+    handle.initiate_shutdown();
+    let finals = handle.join().expect("drain");
+
+    assert_eq!(finals.replayed, N as u64, "{finals:?}");
+    assert_eq!(finals.ingested, N as u64, "{finals:?}");
+    assert_eq!(finals.matched + finals.unmatched, N as u64, "{finals:?}");
+    assert_eq!(finals.dropped, 0, "{finals:?}");
+    assert!(finals.reconciles(), "{finals:?}");
+
+    // The released WAL holds nothing for a third start to replay.
+    let store = patterndb::PatternStore::open(&store_dir).expect("third open");
+    let third = start(
+        store,
+        SeqdConfig {
+            shards: 2,
+            wal_dir: Some(wal_dir),
+            ..SeqdConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("third start");
+    third.initiate_shutdown();
+    let empty = third.join().expect("third drain");
+    assert_eq!(empty.replayed, 0, "released WAL must not replay: {empty:?}");
+
+    // --- The recovered store equals a crash-free run of the same corpus.
+    let mut reference = SequenceRtg::in_memory(rtg);
+    reference.analyze_by_service(&corpus, 1).expect("reference");
+    let store = patterndb::PatternStore::open(&store_dir).expect("final open");
+    let mut recovered = SequenceRtg::new(store, rtg).expect("reload");
+    assert_eq!(
+        pattern_triples(&mut recovered),
+        pattern_triples(&mut reference),
+        "recovered store must equal the crash-free run"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

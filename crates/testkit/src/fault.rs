@@ -1,0 +1,328 @@
+//! Deterministic fault injection for I/O and storage tests.
+//!
+//! Crash-safety claims are only as good as the failures they were tested
+//! against, and ad-hoc "return an error sometimes" mocks are neither
+//! reproducible nor shrinkable. This module provides the missing layer:
+//!
+//! * [`FaultSchedule`] — a seeded xoshiro256\*\* decision stream. Every
+//!   "should this operation fail?" question is answered by the schedule, so
+//!   a failing property-test case is replayed exactly by its seed.
+//! * [`FaultyStream`] — wraps any `Read`/`Write` and injects the failure
+//!   modes real sockets exhibit: short reads and writes, `Interrupted`,
+//!   `WouldBlock` (what a timed-out socket read returns on Unix), and
+//!   connection resets.
+//! * [`FailingStore`] — adapts a schedule into the plain
+//!   `Arc<dyn Fn(&str) -> bool + Send + Sync>` hook shape that storage
+//!   layers (e.g. `patterndb::PatternStore::set_fault_hook`) accept, so
+//!   testkit stays dependency-free while still driving store failures.
+//!
+//! All three are `Send + Sync` and cheap to clone (via `Arc`), so one
+//! schedule can drive faults across reader, writer, and store at once —
+//! the decisions interleave deterministically in call order.
+
+use crate::rng::Rng;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A deterministic stream of fail/pass decisions.
+///
+/// Decisions are drawn from a seeded PRNG guarded by a mutex, so concurrent
+/// callers serialise into one reproducible sequence per seed (for strictly
+/// reproducible *interleavings*, drive the schedule from one thread).
+#[derive(Debug)]
+pub struct FaultSchedule {
+    rng: Mutex<Rng>,
+    fail_probability: f64,
+    /// Remaining faults this schedule may inject; `u64::MAX` = unlimited.
+    budget: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultSchedule {
+    /// A schedule that fails each decision with `fail_probability`.
+    pub fn new(seed: u64, fail_probability: f64) -> FaultSchedule {
+        FaultSchedule {
+            rng: Mutex::new(Rng::seed_from_u64(seed)),
+            fail_probability: fail_probability.clamp(0.0, 1.0),
+            budget: AtomicU64::new(u64::MAX),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Cap the total number of injected faults; after `n`, every decision
+    /// passes. Lets a test prove eventual success under transient failure.
+    pub fn with_budget(self, n: u64) -> FaultSchedule {
+        self.budget.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Decide one operation: `true` means inject a fault.
+    pub fn should_fail(&self) -> bool {
+        let roll = self
+            .rng
+            .lock()
+            .expect("schedule rng")
+            .gen_bool(self.fail_probability);
+        if !roll {
+            return false;
+        }
+        // Spend budget; on exhaustion the schedule goes permanently clean.
+        let mut budget = self.budget.load(Ordering::Relaxed);
+        loop {
+            if budget == 0 {
+                return false;
+            }
+            let next = if budget == u64::MAX {
+                budget
+            } else {
+                budget - 1
+            };
+            match self.budget.compare_exchange_weak(
+                budget,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => budget = seen,
+            }
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// A deterministic pick in `0..n` (fault-kind selection).
+    pub fn roll(&self, n: u64) -> u64 {
+        self.rng.lock().expect("schedule rng").bounded(n.max(1))
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A `Read`/`Write` wrapper that injects socket-like failures according to a
+/// [`FaultSchedule`].
+///
+/// Injected read faults: `Interrupted` (callers must retry), `WouldBlock`
+/// (a timed-out socket read), `ConnectionReset`, and 1-byte short reads.
+/// Injected write faults: `Interrupted`, `BrokenPipe`, and 1-byte short
+/// writes. Short reads/writes are not errors — they exercise the callers'
+/// re-assembly loops, which is where real protocol bugs live.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    schedule: Arc<FaultSchedule>,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner`, drawing decisions from `schedule`.
+    pub fn new(inner: S, schedule: Arc<FaultSchedule>) -> FaultyStream<S> {
+        FaultyStream { inner, schedule }
+    }
+
+    /// The wrapped stream (e.g. to inspect written bytes).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrow the wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if !buf.is_empty() && self.schedule.should_fail() {
+            return match self.schedule.roll(4) {
+                0 => Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected interrupt",
+                )),
+                1 => Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "injected read timeout",
+                )),
+                2 => Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected reset",
+                )),
+                _ => self.inner.read(&mut buf[..1]), // short read
+            };
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !buf.is_empty() && self.schedule.should_fail() {
+            return match self.schedule.roll(3) {
+                0 => Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected interrupt",
+                )),
+                1 => Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected broken pipe",
+                )),
+                _ => self.inner.write(&buf[..1]), // short write
+            };
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.schedule.should_fail() {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected flush failure",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+/// Adapts a [`FaultSchedule`] into the plain closure hook shape storage
+/// layers accept, optionally restricted to a set of operation names.
+#[derive(Debug)]
+pub struct FailingStore {
+    schedule: Arc<FaultSchedule>,
+    only: Option<Vec<String>>,
+}
+
+impl FailingStore {
+    /// Fail any hooked operation according to `schedule`.
+    pub fn new(schedule: Arc<FaultSchedule>) -> FailingStore {
+        FailingStore {
+            schedule,
+            only: None,
+        }
+    }
+
+    /// Fail only the named operations; others always pass (and do not
+    /// consume schedule decisions, keeping seeds comparable across tests).
+    pub fn targeting(schedule: Arc<FaultSchedule>, ops: &[&str]) -> FailingStore {
+        FailingStore {
+            schedule,
+            only: Some(ops.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    /// The closure to hand to a store's fault hook: called with the
+    /// operation name, returns `true` to inject a failure.
+    pub fn hook(&self) -> Arc<dyn Fn(&str) -> bool + Send + Sync> {
+        let schedule = Arc::clone(&self.schedule);
+        let only = self.only.clone();
+        Arc::new(move |op: &str| {
+            if let Some(only) = &only {
+                if !only.iter().any(|o| o == op) {
+                    return false;
+                }
+            }
+            schedule.should_fail()
+        })
+    }
+
+    /// How many faults the underlying schedule has injected.
+    pub fn injected(&self) -> u64 {
+        self.schedule.injected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Cursor};
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = FaultSchedule::new(7, 0.5);
+        let b = FaultSchedule::new(7, 0.5);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.should_fail()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.should_fail()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.injected(), b.injected());
+        let c = FaultSchedule::new(8, 0.5);
+        let seq_c: Vec<bool> = (0..64).map(|_| c.should_fail()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds must differ");
+    }
+
+    #[test]
+    fn budget_caps_injected_faults() {
+        let s = FaultSchedule::new(3, 1.0).with_budget(5);
+        let failures = (0..100).filter(|_| s.should_fail()).count();
+        assert_eq!(failures, 5);
+        assert_eq!(s.injected(), 5);
+    }
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let s = FaultSchedule::new(3, 0.0);
+        assert!((0..100).all(|_| !s.should_fail()));
+    }
+
+    /// A retry loop over a faulty reader still recovers the full payload
+    /// when the fault budget is finite (transient failures only).
+    #[test]
+    fn faulty_stream_payload_survives_retries() {
+        let payload = b"alpha\nbeta\ngamma\n".to_vec();
+        let schedule = Arc::new(FaultSchedule::new(11, 0.4).with_budget(16));
+        let mut reader = BufReader::new(FaultyStream::new(Cursor::new(payload.clone()), schedule));
+        let mut lines = Vec::new();
+        // One persistent buffer: read_line appends partial bytes before a
+        // WouldBlock surfaces, so the retry must keep them and continue.
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => lines.push(std::mem::take(&mut line)),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert_eq!(lines.concat(), String::from_utf8(payload).unwrap());
+    }
+
+    #[test]
+    fn failing_store_targets_only_named_ops() {
+        let schedule = Arc::new(FaultSchedule::new(5, 1.0));
+        let store = FailingStore::targeting(schedule, &["commit"]);
+        let hook = store.hook();
+        assert!(!hook("begin"));
+        assert!(hook("commit"));
+        assert!(!hook("upsert"));
+        assert_eq!(store.injected(), 1);
+    }
+
+    #[test]
+    fn faulty_writer_short_writes_reassemble_via_write_all() {
+        let schedule = Arc::new(FaultSchedule::new(21, 0.5).with_budget(8));
+        let mut w = FaultyStream::new(Vec::new(), schedule);
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        // write_all retries Interrupted and continues after short writes;
+        // only hard faults (BrokenPipe) abort — retry those at this level.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 64, "must terminate");
+            let written = w.get_ref().len();
+            match w.write_all(&payload[written..]) {
+                Ok(()) => break,
+                Err(e) if e.kind() == io::ErrorKind::BrokenPipe => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(w.into_inner(), payload);
+    }
+}

@@ -12,6 +12,10 @@
 //!   failure shrinking for integers, vectors and strings, and persisted
 //!   regression seeds compatible with proptest's
 //!   `proptest-regressions/*.txt` files. Replaces `proptest`.
+//! * [`fault`] — deterministic fault injection: seeded [`fault::FaultSchedule`]
+//!   decision streams, [`fault::FaultyStream`] `Read`/`Write` wrappers
+//!   (short reads/writes, `Interrupted`, `WouldBlock`, resets), and the
+//!   [`fault::FailingStore`] hook adapter for storage-layer failures.
 //! * [`bench`] — a warm-up + calibrated-iteration timer with median/p95
 //!   reporting behind a criterion-compatible facade (`Criterion`,
 //!   `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`),
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 

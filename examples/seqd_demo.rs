@@ -24,9 +24,10 @@ fn main() {
         batch_size: 4_000,
         ..SeqdConfig::default()
     };
+    let shards = config.shards;
     let handle = start(PatternStore::in_memory(), config, "127.0.0.1:0").expect("start daemon");
     let addr = handle.addr();
-    println!("seqd listening on {addr} ({} shards)\n", config.shards);
+    println!("seqd listening on {addr} ({shards} shards)\n");
 
     // Two waves from the same services: the first is all-novel and triggers
     // re-mining; the second mostly matches the freshly published patterns.

@@ -91,7 +91,7 @@ fn daemon_matches_batch_pipeline_and_survives_restart() {
         ..SeqdConfig::default()
     };
     let store = PatternStore::open(&dir).expect("open store");
-    let handle = start(store, config, "127.0.0.1:0").expect("start daemon");
+    let handle = start(store, config.clone(), "127.0.0.1:0").expect("start daemon");
     let addr = handle.addr();
 
     // --- Corpus A: everything is novel; the 5 000th record triggers a
@@ -208,7 +208,7 @@ fn served_patterns_match_reference_after_first_mine() {
         queue_capacity: 2 * BATCH,
         ..SeqdConfig::default()
     };
-    let handle = start(PatternStore::in_memory(), config, "127.0.0.1:0").expect("start");
+    let handle = start(PatternStore::in_memory(), config.clone(), "127.0.0.1:0").expect("start");
     let addr = handle.addr();
     loadgen::replay_records(addr, &corpus_a).expect("replay");
     wait_for_remines(addr, 1, Duration::from_secs(120));
