@@ -7,16 +7,36 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
+# --- Per-stage wall-clock timing -------------------------------------------
+# Every `==>` stage is timed; the run writes results/ci_timings.json and a
+# summary table, and fails when any stage takes more than 3x its recorded
+# baseline (plus a 15 s grace for sub-second stages on a noisy runner).
+ci_stage_names=()
+ci_stage_ms=()
+stage_begin() {
+  _stage_name=$1
+  _stage_t0=$(date +%s%N)
+  echo "==> ${_stage_name}"
+}
+stage_end() {
+  local ms=$(( ( $(date +%s%N) - _stage_t0 ) / 1000000 ))
+  ci_stage_names+=("${_stage_name}")
+  ci_stage_ms+=("${ms}")
+}
+
+stage_begin "cargo fmt --check"
 cargo fmt --all -- --check
+stage_end
 
-echo "==> cargo build --release --offline"
+stage_begin "cargo build --release --offline"
 cargo build --release --offline --workspace
+stage_end
 
-echo "==> cargo test -q --offline"
+stage_begin "cargo test -q --offline"
 cargo test -q --offline --workspace
+stage_end
 
-echo "==> bench smoke (1 sample, JSON to a scratch file)"
+stage_begin "bench smoke (1 sample, JSON to a scratch file)"
 # One warm-up + one sample per benchmark: proves the bench binaries run and
 # emit well-formed JSON without touching the recorded results/ trajectories.
 smoke_json=$(mktemp)
@@ -46,6 +66,15 @@ seqd_http() {
   exec 3>&- 3<&-
   return "${ok}"
 }
+
+# GET a path from a local seqd and print the response body (headers stripped).
+seqd_http_body() {
+  local port=$1 path=$2
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "${path}" >&3
+  sed '1,/^\r$/d' <&3
+  exec 3>&- 3<&-
+}
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench parser_throughput >/dev/null
 grep -q '"id":"parser/match_against_learned_set/1000"' "${smoke_json}"
@@ -55,9 +84,11 @@ grep -q '"id":"scanner/parse_only"' "${smoke_json}"
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench seqd_throughput >/dev/null
 grep -q '"id":"seqd/ingest_tcp"' "${smoke_json}"
+grep -q '"id":"seqd/ingest_line_latency"' "${smoke_json}"
 echo "    bench smoke OK"
+stage_end
 
-echo "==> bench regression gate (recorded parser trajectory vs baseline)"
+stage_begin "bench regression gate (recorded parser trajectory vs baseline)"
 # Guard the PR-over-PR perf record: the current results/BENCH_parser.json
 # must not have regressed more than 30% in elem/s against the frozen
 # baseline. Rates are recomputed from elements and median_ns because the
@@ -79,8 +110,29 @@ join "${smoke_json}.base" "${smoke_json}.cur" | awk '
   }'
 rm -f "${smoke_json}.base" "${smoke_json}.cur"
 echo "    regression gate OK"
+stage_end
 
-echo "==> seqd smoke (start -> ingest -> /healthz -> shutdown)"
+stage_begin "latency regression gate (recorded seqd p99 vs frozen baseline)"
+# The seqd bench records the daemon's own per-line ingest latency (from the
+# seqd_ingest_line_seconds histogram) next to its throughput record. A
+# re-recorded trajectory whose p99 is more than 50% above the frozen
+# baseline fails the gate.
+latency_p99() {
+  sed -n 's/.*"id":"seqd\/ingest_line_latency".*"p99_ns":\([0-9]*\).*/\1/p' "$1"
+}
+base_p99=$(latency_p99 results/BENCH_seqd.baseline.json)
+cur_p99=$(latency_p99 results/BENCH_seqd.json)
+[[ -n "${base_p99}" && -n "${cur_p99}" ]] \
+  || { echo "ingest_line_latency record missing from results/BENCH_seqd*.json" >&2; exit 1; }
+awk -v base="${base_p99}" -v cur="${cur_p99}" 'BEGIN {
+  ratio = cur / base
+  printf "    p99 ingest line latency %d ns -> %d ns (x%.2f)\n", base, cur, ratio
+  if (ratio > 1.5) { print "    REGRESSION: p99 >50% above baseline" > "/dev/stderr"; exit 1 }
+}'
+echo "    latency gate OK"
+stage_end
+
+stage_begin "seqd smoke (start -> ingest -> /healthz -> shutdown)"
 ./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 1000 \
   --store "${seqd_store}/store" 2> "${seqd_log}" &
 seqd_pid=$!
@@ -95,8 +147,31 @@ grep -q '"received":2000,"accepted":2000' "${seqd_log}.loadgen"
 wait "${seqd_pid}"
 seqd_pid=""
 echo "    seqd smoke OK"
+stage_end
 
-echo "==> seqd crash-recovery smoke (kill -9 mid-batch -> restart -> WAL replay)"
+stage_begin "metrics contract (scrape /metrics -> promlint -> golden name set)"
+# A live daemon's exposition must lint clean (every series carries # HELP
+# and # TYPE, histograms cumulative and +Inf-terminated) and export exactly
+# the metric names recorded in tests/golden/metrics_names.txt — renaming or
+# dropping a series is an observability API break and must be deliberate.
+./target/release/seqd --addr 127.0.0.1:0 --shards 2 --batch-size 1000 \
+  --store "${seqd_store}/contract" 2> "${seqd_log}.contract" &
+seqd_pid=$!
+port=$(wait_seqd_port "${seqd_log}.contract")
+./target/release/seqd-loadgen --addr "127.0.0.1:${port}" --records 500 > /dev/null
+seqd_http_body "${port}" /metrics > "${seqd_log}.metrics"
+./target/release/promlint "${seqd_log}.metrics" \
+  || { echo "promlint failed on a live /metrics scrape" >&2; exit 1; }
+./target/release/promlint --names "${seqd_log}.metrics" \
+  | diff - tests/golden/metrics_names.txt \
+  || { echo "/metrics name set diverged from tests/golden/metrics_names.txt" >&2; exit 1; }
+seqd_http "${port}" POST /shutdown
+wait "${seqd_pid}"
+seqd_pid=""
+echo "    metrics contract OK"
+stage_end
+
+stage_begin "seqd crash-recovery smoke (kill -9 mid-batch -> restart -> WAL replay)"
 # Reference: the same fixed-seed corpus through a daemon that drains cleanly.
 # --batch-size far above the corpus keeps all 500 records in residue, so the
 # crashed run below dies with everything receipted but nothing flushed.
@@ -149,8 +224,9 @@ wal_bytes=$(cat "${seqd_store}/crash/ingest-wal/"*.wal | wc -c)
 diff -u "${seqd_log}.clean.patterns" "${seqd_log}.crash.patterns" \
   || { echo "recovered store diverged from the crash-free run" >&2; exit 1; }
 echo "    crash-recovery smoke OK"
+stage_end
 
-echo "==> dependency audit: workspace crates only"
+stage_begin "dependency audit: workspace crates only"
 # Every package cargo can see must live in this repository. A single
 # registry/git dependency breaks the offline guarantee, so fail on any
 # `cargo tree` line that is not a workspace member (path = /root/repo/...).
@@ -164,5 +240,47 @@ if [[ -n "${external}" ]]; then
 fi
 count=$(wc -l <<<"${packages}")
 echo "    ${count} packages, all in-tree"
+stage_end
+
+echo "==> CI stage timings"
+# Write the timings record, print the summary table, and gate each stage
+# against the recorded baseline: >3x the baseline seconds plus a 15 s grace
+# (absorbs scheduler noise on sub-second stages) fails the run. The baseline
+# records *cold-cache* times for the compile-heavy stages (build/test/bench
+# smoke), so a fresh clone passes; warm runs are far under the limit.
+{
+  echo '{"stages":['
+  for i in "${!ci_stage_names[@]}"; do
+    sep=$([[ "$i" -gt 0 ]] && echo ',' || true)
+    printf '%s{"stage":"%s","seconds":%d.%03d}\n' \
+      "${sep}" "${ci_stage_names[$i]}" \
+      $(( ci_stage_ms[i] / 1000 )) $(( ci_stage_ms[i] % 1000 ))
+  done
+  echo ']}'
+} > results/ci_timings.json
+# `|` delimiter: stage names contain `/` (e.g. "/healthz").
+stage_seconds() {
+  sed -n 's|.*{"stage":"'"$1"'","seconds":\([0-9.]*\)}.*|\1|p' "$2"
+}
+timing_bad=0
+for i in "${!ci_stage_names[@]}"; do
+  name="${ci_stage_names[$i]}"
+  cur=$(stage_seconds "${name}" results/ci_timings.json)
+  base=$(stage_seconds "${name}" results/ci_timings.baseline.json 2>/dev/null || true)
+  if [[ -z "${base}" ]]; then
+    printf '    %-68s %8.1fs (no baseline)\n' "${name}" "${cur}"
+    continue
+  fi
+  verdict=$(awk -v base="${base}" -v cur="${cur}" 'BEGIN {
+    limit = 3 * base + 15
+    printf "%.1fs -> %.1fs (limit %.1fs) %s", base, cur, limit, (cur > limit) ? "SLOW" : "ok"
+  }')
+  printf '    %-68s %s\n' "${name}" "${verdict}"
+  if [[ "${verdict}" == *SLOW ]]; then timing_bad=1; fi
+done
+if [[ "${timing_bad}" -ne 0 ]]; then
+  echo "    REGRESSION: a CI stage took >3x its baseline (+15s grace)" >&2
+  exit 1
+fi
 
 echo "CI OK"

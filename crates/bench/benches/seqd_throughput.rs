@@ -87,15 +87,44 @@ fn bench_socket_ingest(c: &mut Criterion) {
 
 criterion_group!(benches, bench_socket_ingest);
 
+/// The per-line ingest latency record, from the daemon's own
+/// `seqd_ingest_line_seconds` histogram (the daemon ran in-process, so the
+/// global `obs` registry holds every sample the waves produced). Appended to
+/// the same JSON-lines file as the throughput record; `ci.sh` gates the p99
+/// against a frozen baseline.
+fn ingest_latency_record() -> Option<String> {
+    let snap = obs::registry().snapshot("seqd_ingest_line_seconds")?;
+    let q = |p: f64| snap.quantile_ns(p).unwrap_or(0);
+    Some(format!(
+        "{{\"id\":\"seqd/ingest_line_latency\",\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        snap.count,
+        q(0.50),
+        q(0.95),
+        q(0.99),
+    ))
+}
+
 fn main() {
     let mut c = Criterion::from_args();
     benches(&mut c);
     c.final_summary();
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_seqd.json");
     if !Criterion::json_redirected() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_seqd.json");
-        match c.write_json(path) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => eprintln!("{path}: write failed: {e}"),
+        match c.write_json(default_path) {
+            Ok(()) => println!("wrote {default_path}"),
+            Err(e) => eprintln!("{default_path}: write failed: {e}"),
+        }
+    }
+    if let Some(record) = ingest_latency_record() {
+        let path = std::env::var("TESTKIT_BENCH_JSON").unwrap_or_else(|_| default_path.into());
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{record}\n").as_bytes()));
+        match appended {
+            Ok(()) => println!("appended ingest-line latency to {path}"),
+            Err(e) => eprintln!("{path}: latency append failed: {e}"),
         }
     }
 }

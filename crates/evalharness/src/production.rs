@@ -103,6 +103,12 @@ pub fn simulate(config: SimConfig) -> Vec<DayStats> {
 /// after the run `ingested = matched + unmatched` and the snapshot
 /// reconciles exactly.
 pub fn simulate_with_ops(config: SimConfig, ops: &Ops) -> Vec<DayStats> {
+    // Share the daemon's stage histograms: the sim populates the same
+    // `obs` registry series a live `seqd` exports, so latency dashboards
+    // port across simulation and deployment exactly like the counters do.
+    seqd::metrics::stages::preregister();
+    let line_hist = seqd::metrics::stages::ingest_line();
+    let match_hist = seqd::metrics::stages::match_record();
     let mut rng = Rng::seed_from_u64(config.seed);
     let scanner = Scanner::new();
     let mut scratch = sequence_core::MatchScratch::default();
@@ -132,6 +138,7 @@ pub fn simulate_with_ops(config: SimConfig, ops: &Ops) -> Vec<DayStats> {
         let mut unmatched_records: Vec<LogRecord> = Vec::new();
         for (i, item) in stream.iter().enumerate() {
             Ops::inc(&ops.ingested);
+            let line_started = Instant::now();
             // Inject unique noise in place of a slice of the volume.
             let is_noise = rng.gen_bool(config.noise_fraction);
             if is_noise {
@@ -139,6 +146,9 @@ pub fn simulate_with_ops(config: SimConfig, ops: &Ops) -> Vec<DayStats> {
                 // Noise never matches the promoted database.
                 Ops::inc(&ops.unmatched);
                 unmatched_records.push(LogRecord::new("misc", msg));
+                // One histogram sample per ingested message, exactly as the
+                // daemon records — `_count` reconciles with `ingested`.
+                line_hist.record(line_started.elapsed());
                 continue;
             }
             // Parse-only: the raw text is never needed again, so skip the
@@ -148,6 +158,7 @@ pub fn simulate_with_ops(config: SimConfig, ops: &Ops) -> Vec<DayStats> {
                 .get(&item.service)
                 .and_then(|set| set.match_message_with(&scanned, &mut scratch))
                 .is_some();
+            match_hist.record(line_started.elapsed());
             if hit {
                 matched += 1;
                 Ops::inc(&ops.matched);
@@ -156,6 +167,7 @@ pub fn simulate_with_ops(config: SimConfig, ops: &Ops) -> Vec<DayStats> {
                 unmatched_records
                     .push(LogRecord::new(item.service.as_str(), item.message.as_str()));
             }
+            line_hist.record(line_started.elapsed());
         }
         // The unmatched stream feeds Sequence-RTG, batch by batch.
         for chunk in unmatched_records.chunks(config.batch_size) {
@@ -421,6 +433,33 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
+        // The latency side ports too: the sim populates the same `obs`
+        // registry histograms the daemon exports, under the same names, and
+        // the combined exposition parses cleanly.
+        let hist_text = obs::registry().render_prometheus();
+        let combined = format!("{text}{hist_text}");
+        let errors = obs::promlint::lint(&combined);
+        assert!(errors.is_empty(), "promlint: {errors:?}");
+        let names = obs::promlint::metric_names(&hist_text);
+        for required in [
+            "seqd_ingest_line_seconds",
+            "seqd_match_seconds",
+            "rtg_analyze_seconds",
+            "rtg_scan_seconds",
+            "rtg_parse_seconds",
+            "patterndb_txn_seconds",
+            "core_scan_seconds",
+            "core_match_seconds",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
+        // Per-line recording mirrors the daemon exactly: one ingest-line
+        // sample per ingested message. Other tests in this process share the
+        // global registry, so assert "at least" rather than equality.
+        let snap = obs::registry()
+            .snapshot("seqd_ingest_line_seconds")
+            .expect("preregistered");
+        assert!(snap.count >= s.ingested, "{} < {}", snap.count, s.ingested);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! `promlint` — lint a Prometheus text exposition from a file or stdin.
+//!
+//! ```text
+//! promlint [--names] [FILE]
+//! ```
+//!
+//! Without flags, prints lint findings and exits non-zero if any. With
+//! `--names`, prints the sorted metric-family name set (one per line) —
+//! `ci.sh` diffs this against `tests/golden/metrics_names.txt`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut names_only = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--names" => names_only = true,
+            "-h" | "--help" => {
+                eprintln!("usage: promlint [--names] [FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("promlint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match &path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+    if names_only {
+        for name in obs::promlint::metric_names(&text) {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let errors = obs::promlint::lint(&text);
+    if errors.is_empty() {
+        println!(
+            "promlint: OK ({} metric families)",
+            obs::promlint::metric_names(&text).len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("promlint: {e}");
+        }
+        eprintln!("promlint: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

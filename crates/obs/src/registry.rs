@@ -1,0 +1,313 @@
+//! Process-global metric registry.
+//!
+//! One registry per process (lazily created by [`registry`]); every crate
+//! in the workspace records into it, so the daemon, the offline eval
+//! harness, and the benches all export the same series from the same place.
+//! Histograms are created on first use and live forever — scrape-side code
+//! can therefore pre-register the full contract up front (see
+//! `seqd::metrics::preregister`) so the exported name set does not depend
+//! on which code paths have run.
+
+use crate::hist::{bucket_upper_ns, HistSnapshot, Histogram, BUCKETS};
+use crate::slow::SlowRing;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Default capacity of the process-wide slow-op ring.
+pub const SLOW_RING_CAPACITY: usize = 32;
+
+/// A metric registry: named histograms, labelled histogram families, and
+/// the slow-op ring.
+pub struct Registry {
+    hists: RwLock<BTreeMap<String, Entry>>,
+    families: RwLock<BTreeMap<String, Family>>,
+    slow: SlowRing,
+}
+
+struct Entry {
+    help: &'static str,
+    hist: Arc<Histogram>,
+}
+
+struct Family {
+    help: &'static str,
+    label: &'static str,
+    series: BTreeMap<String, Arc<Histogram>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(|| Registry::new(SLOW_RING_CAPACITY))
+}
+
+impl Registry {
+    /// A fresh registry (tests; production code uses [`registry`]).
+    pub fn new(slow_capacity: usize) -> Registry {
+        Registry {
+            hists: RwLock::new(BTreeMap::new()),
+            families: RwLock::new(BTreeMap::new()),
+            slow: SlowRing::new(slow_capacity),
+        }
+    }
+
+    /// The slow-op ring.
+    pub fn slow(&self) -> &SlowRing {
+        &self.slow
+    }
+
+    /// Get or create the named histogram. `name` must be a valid Prometheus
+    /// metric name (enforced by debug assertion; the promlint CI gate is
+    /// the backstop in release builds).
+    pub fn histogram(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        debug_assert!(valid_metric_name(name), "bad metric name: {name}");
+        if let Some(e) = self
+            .hists
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(&e.hist);
+        }
+        let mut map = self.hists.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            &map.entry(name.to_string())
+                .or_insert_with(|| Entry {
+                    help,
+                    hist: Arc::new(Histogram::new()),
+                })
+                .hist,
+        )
+    }
+
+    /// Get or create one series of a labelled histogram family, e.g.
+    /// `seqd_service_match_seconds{service="sshd"}`.
+    pub fn family_histogram(
+        &self,
+        name: &str,
+        help: &'static str,
+        label: &'static str,
+        value: &str,
+    ) -> Arc<Histogram> {
+        debug_assert!(valid_metric_name(name), "bad metric name: {name}");
+        {
+            let fams = self.families.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(f) = fams.get(name) {
+                if let Some(h) = f.series.get(value) {
+                    return Arc::clone(h);
+                }
+            }
+        }
+        let mut fams = self.families.write().unwrap_or_else(|e| e.into_inner());
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help,
+            label,
+            series: BTreeMap::new(),
+        });
+        Arc::clone(
+            fam.series
+                .entry(value.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshot a named histogram, if it exists.
+    pub fn snapshot(&self, name: &str) -> Option<HistSnapshot> {
+        self.hists
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|e| e.hist.snapshot())
+    }
+
+    /// Snapshot every series of a labelled family: `(label_value, snapshot)`.
+    pub fn family_snapshots(&self, name: &str) -> Vec<(String, HistSnapshot)> {
+        self.families
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|(v, h)| (v.clone(), h.snapshot()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Render every histogram in Prometheus text exposition format.
+    ///
+    /// Buckets are cumulative and sparse: empty buckets are skipped (the
+    /// format does not require them) but `+Inf` is always present, so the
+    /// output stays compact while `_count == +Inf` holds by construction.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let hists = self.hists.read().unwrap_or_else(|e| e.into_inner());
+        for (name, entry) in hists.iter() {
+            render_histogram_header(&mut out, name, entry.help);
+            render_histogram_series(&mut out, name, "", &entry.hist.snapshot());
+        }
+        drop(hists);
+        let fams = self.families.read().unwrap_or_else(|e| e.into_inner());
+        for (name, fam) in fams.iter() {
+            render_histogram_header(&mut out, name, fam.help);
+            for (value, hist) in fam.series.iter() {
+                let labels = format!("{}=\"{}\"", fam.label, escape_label(value));
+                render_histogram_series(&mut out, name, &labels, &hist.snapshot());
+            }
+        }
+        out
+    }
+
+    /// Names of all registered metric families, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .hists
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.extend(
+            self.families
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .keys()
+                .cloned(),
+        );
+        names.sort();
+        names
+    }
+}
+
+fn render_histogram_header(out: &mut String, name: &str, help: &'static str) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+}
+
+fn render_histogram_series(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        let n = snap.buckets[i];
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        match bucket_upper_ns(i) {
+            Some(up) => out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}\n",
+                fmt_le(up as f64 / 1e9)
+            )),
+            None => {} // overflow: folded into +Inf below
+        }
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        snap.count
+    ));
+    out.push_str(&format!(
+        "{name}_sum{}{}{} {}\n",
+        if labels.is_empty() { "" } else { "{" },
+        labels,
+        if labels.is_empty() { "" } else { "}" },
+        fmt_f64(snap.sum_ns as f64 / 1e9)
+    ));
+    out.push_str(&format!(
+        "{name}_count{}{}{} {}\n",
+        if labels.is_empty() { "" } else { "{" },
+        labels,
+        if labels.is_empty() { "" } else { "}" },
+        snap.count
+    ));
+}
+
+/// Format a bucket edge without trailing-zero noise (e.g. `0.000262144`).
+fn fmt_le(v: f64) -> String {
+    let s = format!("{v:.9}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Whether `name` is a legal Prometheus metric name.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_histogram() {
+        let r = Registry::new(4);
+        let a = r.histogram("x_seconds", "x");
+        let b = r.histogram("x_seconds", "x");
+        a.record_ns(1_000);
+        assert_eq!(b.snapshot().count, 1);
+    }
+
+    #[test]
+    fn render_has_help_type_and_inf_for_every_series() {
+        let r = Registry::new(4);
+        r.histogram("a_seconds", "stage a").record_ns(5_000);
+        r.family_histogram("svc_seconds", "per-service", "service", "sshd")
+            .record_ns(9_000);
+        let text = r.render_prometheus();
+        for name in ["a_seconds", "svc_seconds"] {
+            assert!(text.contains(&format!("# HELP {name} ")));
+            assert!(text.contains(&format!("# TYPE {name} histogram")));
+            assert!(text.contains(&format!("{name}_count")));
+        }
+        assert!(text.contains("a_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("svc_seconds_bucket{service=\"sshd\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn family_series_are_per_label_value() {
+        let r = Registry::new(4);
+        r.family_histogram("m_seconds", "h", "service", "a")
+            .record_ns(100);
+        r.family_histogram("m_seconds", "h", "service", "b")
+            .record_ns(200);
+        let snaps = r.family_snapshots("m_seconds");
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps.iter().all(|(_, s)| s.count == 1));
+    }
+
+    #[test]
+    fn metric_names_are_sorted_and_complete() {
+        let r = Registry::new(4);
+        r.histogram("z_seconds", "z");
+        r.histogram("a_seconds", "a");
+        r.family_histogram("m_seconds", "m", "service", "x");
+        assert_eq!(
+            r.metric_names(),
+            vec!["a_seconds", "m_seconds", "z_seconds"]
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Bounded ring of the N slowest operations observed so far.
+//!
+//! The ring keeps the slowest [`SlowRing::capacity`] spans with their
+//! attributes, not the most recent ones — a burst of fast ops can never
+//! evict evidence of a stall. The hot-path cost for an op that is *not*
+//! slow is one relaxed atomic load: once the ring is full, `threshold_ns`
+//! holds the duration of the fastest resident entry and anything faster is
+//! rejected without taking the lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One attribute attached to a slow operation.
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// An integer attribute (token count, batch size, shard id, ...).
+    U64(u64),
+    /// A string attribute (service name, ...).
+    Str(String),
+}
+
+/// A captured slow operation.
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// The span name, e.g. `"seqd.flush"`.
+    pub name: &'static str,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Unix timestamp (seconds) when the op finished.
+    pub unix_secs: u64,
+    /// Monotone capture sequence number (process-wide order of insertion).
+    pub seq: u64,
+    /// Attributes attached via [`crate::span::Span::attr`].
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// The slow-op ring buffer. See module docs for semantics.
+pub struct SlowRing {
+    capacity: usize,
+    threshold_ns: AtomicU64,
+    next_seq: AtomicU64,
+    ops: Mutex<Vec<SlowOp>>,
+}
+
+impl SlowRing {
+    /// A ring retaining the `capacity` slowest operations.
+    pub fn new(capacity: usize) -> SlowRing {
+        SlowRing {
+            capacity: capacity.max(1),
+            threshold_ns: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum number of retained operations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fast check: could an op of `dur_ns` enter the ring right now?
+    #[inline]
+    pub fn admits(&self, dur_ns: u64) -> bool {
+        dur_ns > self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Offer an operation; inserts only if it is among the slowest seen.
+    pub fn offer(&self, name: &'static str, dur_ns: u64, attrs: Vec<(&'static str, AttrValue)>) {
+        if !self.admits(dur_ns) {
+            return;
+        }
+        let unix_secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut ops = self.ops.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the lock: the threshold may have risen.
+        if ops.len() >= self.capacity {
+            let (min_idx, min_dur) = ops
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (i, o.dur_ns))
+                .min_by_key(|&(_, d)| d)
+                .expect("ring is non-empty when full");
+            if dur_ns <= min_dur {
+                return;
+            }
+            ops.swap_remove(min_idx);
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        ops.push(SlowOp {
+            name,
+            dur_ns,
+            unix_secs,
+            seq,
+            attrs,
+        });
+        if ops.len() >= self.capacity {
+            let new_min = ops.iter().map(|o| o.dur_ns).min().unwrap_or(0);
+            self.threshold_ns.store(new_min, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the ring, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowOp> {
+        let ops = self.ops.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = ops.clone();
+        out.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.seq.cmp(&b.seq)));
+        out
+    }
+
+    /// Render the ring as a JSON array (hand-rolled: `obs` depends on
+    /// nothing, including the in-tree `jsonlite`).
+    pub fn to_json(&self) -> String {
+        let ops = self.snapshot();
+        let mut out = String::from("[");
+        for (i, op) in ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"dur_ns\":{},\"dur_ms\":{:.3},\"unix_secs\":{},\"seq\":{},\"attrs\":{{",
+                escape_json(op.name),
+                op.dur_ns,
+                op.dur_ns as f64 / 1e6,
+                op.unix_secs,
+                op.seq
+            ));
+            for (j, (k, v)) in op.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match v {
+                    AttrValue::U64(n) => out.push_str(&format!("\"{}\":{}", escape_json(k), n)),
+                    AttrValue::Str(s) => {
+                        out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(s)))
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_slowest_not_the_latest() {
+        let ring = SlowRing::new(3);
+        ring.offer("op", 100, Vec::new());
+        ring.offer("op", 900, Vec::new());
+        ring.offer("op", 500, Vec::new());
+        // Ring is full; a faster op must not evict anything.
+        ring.offer("op", 50, Vec::new());
+        // A slower op evicts the current minimum (100).
+        ring.offer("op", 700, Vec::new());
+        let snap = ring.snapshot();
+        let durs: Vec<u64> = snap.iter().map(|o| o.dur_ns).collect();
+        assert_eq!(durs, vec![900, 700, 500]);
+    }
+
+    #[test]
+    fn threshold_gate_engages_once_full() {
+        let ring = SlowRing::new(2);
+        assert!(ring.admits(1));
+        ring.offer("op", 10, Vec::new());
+        ring.offer("op", 20, Vec::new());
+        assert!(!ring.admits(10));
+        assert!(ring.admits(11));
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let ring = SlowRing::new(2);
+        ring.offer(
+            "seqd.flush",
+            1_000_000,
+            vec![
+                ("service", AttrValue::Str("sshd \"x\"".into())),
+                ("batch", AttrValue::U64(128)),
+            ],
+        );
+        let json = ring.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"seqd.flush\""));
+        assert!(json.contains("\"batch\":128"));
+        assert!(json.contains("sshd \\\"x\\\""));
+    }
+}

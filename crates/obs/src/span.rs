@@ -1,0 +1,113 @@
+//! Span timers: measure a scope, record into a histogram on drop, and
+//! offer the result to the slow-op ring.
+//!
+//! The cheap path is [`crate::span!`]: a per-call-site `OnceLock` caches
+//! the `Arc<Histogram>` so steady-state cost is one `Instant::now()` pair,
+//! two relaxed atomic adds, and one relaxed load for the slow-ring gate.
+
+use crate::hist::Histogram;
+use crate::registry::registry;
+use crate::slow::AttrValue;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An in-flight timed span. Records its duration when dropped.
+pub struct Span {
+    start: Instant,
+    name: &'static str,
+    hist: Arc<Histogram>,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Start a span over the given histogram. Prefer the [`crate::span!`]
+    /// macro, which derives the metric name and caches the handle.
+    pub fn start(name: &'static str, hist: Arc<Histogram>) -> Span {
+        Span {
+            start: Instant::now(),
+            name,
+            hist,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Attach an integer attribute (visible in `/debug/slow`).
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        self.attrs.push((key, AttrValue::U64(value)));
+    }
+
+    /// Attach a string attribute (visible in `/debug/slow`). The string is
+    /// only cloned here, so call it off the per-record hot path.
+    pub fn attr_str(&mut self, key: &'static str, value: &str) {
+        self.attrs.push((key, AttrValue::Str(value.to_string())));
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.elapsed_ns();
+        self.hist.record_ns(ns);
+        let ring = registry().slow();
+        if ring.admits(ns) {
+            ring.offer(self.name, ns, std::mem::take(&mut self.attrs));
+        }
+    }
+}
+
+/// Turn a dotted span name (`"seqd.flush"`) into its histogram metric name
+/// (`"seqd_flush_seconds"`).
+pub fn metric_name_for(span: &str) -> String {
+    let mut out = String::with_capacity(span.len() + 8);
+    for c in span.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out.push_str("_seconds");
+    out
+}
+
+/// Non-macro span entry used by [`crate::span!`]; resolves and caches the
+/// histogram handle in the call site's `OnceLock`.
+pub fn enter_cached(
+    name: &'static str,
+    help: &'static str,
+    cell: &'static std::sync::OnceLock<Arc<Histogram>>,
+) -> Span {
+    let hist = cell.get_or_init(|| {
+        let metric = metric_name_for(name);
+        registry().histogram(&metric, help)
+    });
+    Span::start(name, Arc::clone(hist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_sanitizes_dots_and_dashes() {
+        assert_eq!(metric_name_for("seqd.flush"), "seqd_flush_seconds");
+        assert_eq!(metric_name_for("wal-fsync"), "wal_fsync_seconds");
+    }
+
+    #[test]
+    fn span_records_into_its_histogram_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let mut s = Span::start("test.op", Arc::clone(&hist));
+            s.attr_u64("n", 7);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum_ns >= 50_000, "sum = {}", snap.sum_ns);
+    }
+}

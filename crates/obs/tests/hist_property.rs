@@ -1,0 +1,92 @@
+//! Property: histogram recording and cross-thread stripe merge are
+//! lossless — after N threads record disjoint slices of a workload, the
+//! merged snapshot has exactly the workload's count and sum, and every
+//! quantile is within one bucket width of the exact (sorted) quantile.
+
+use obs::hist::{bucket_index, bucket_upper_ns, Histogram, MIN_EXP};
+use std::sync::Arc;
+use testkit::prop::{self, Config, Strategy};
+
+/// Exact quantile of a sorted slice, by the same ceil-rank rule the
+/// histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[test]
+fn merge_is_lossless_and_quantiles_are_bucket_accurate() {
+    let durations = prop::vec(prop::range(1u64..200_000_000), 1..400);
+    let threads = prop::range(1usize..9);
+    let strategy = prop::from_fn(move |rng| (durations.generate(rng), threads.generate(rng)));
+    prop::check(&Config::cases(60), &strategy, |(values, nthreads)| {
+        let hist = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(*nthreads)) {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for &v in chunk {
+                        hist.record_ns(v);
+                    }
+                });
+            }
+        });
+        let snap = hist.snapshot();
+        if snap.count != values.len() as u64 {
+            return Err(format!(
+                "count lost in merge: {} != {}",
+                snap.count,
+                values.len()
+            ));
+        }
+        let expect_sum: u64 = values.iter().sum();
+        if snap.sum_ns != expect_sum {
+            return Err(format!(
+                "sum lost in merge: {} != {expect_sum}",
+                snap.sum_ns
+            ));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = snap.quantile_ns(q).expect("non-empty");
+            let exact = exact_quantile(&sorted, q).max(1 << MIN_EXP);
+            // The estimate is the upper edge of the exact value's bucket:
+            // error is bounded by that bucket's width.
+            let idx = bucket_index(exact);
+            let upper = bucket_upper_ns(idx).unwrap_or(u64::MAX);
+            let lower = if idx == 0 {
+                0
+            } else {
+                bucket_upper_ns(idx - 1).unwrap()
+            };
+            if est < lower || est > upper {
+                return Err(format!(
+                    "q{q}: estimate {est} outside bucket [{lower}, {upper}] of exact {exact}"
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn concurrent_recording_from_many_threads_loses_nothing() {
+    // A heavier fixed-shape stress: 8 threads × 50k records each.
+    let hist = Arc::new(Histogram::new());
+    let per_thread = 50_000u64;
+    let nthreads = 8u64;
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                let mut rng = testkit::Rng::seed_from_u64(0xC0FFEE ^ t);
+                for _ in 0..per_thread {
+                    hist.record_ns(rng.gen_range(100u64..50_000_000));
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, per_thread * nthreads);
+}

@@ -96,6 +96,9 @@ pub type FaultHook = std::sync::Arc<dyn Fn(&str) -> bool + Send + Sync>;
 pub struct PatternStore {
     db: Database,
     fault_hook: Option<FaultHook>,
+    /// Set by [`PatternStore::begin`]; its elapsed time is recorded into the
+    /// `patterndb_txn_seconds` histogram at commit (cleared on rollback).
+    txn_started: Option<std::time::Instant>,
 }
 
 impl std::fmt::Debug for PatternStore {
@@ -135,6 +138,7 @@ impl PatternStore {
         PatternStore {
             db,
             fault_hook: None,
+            txn_started: None,
         }
     }
 
@@ -147,6 +151,7 @@ impl PatternStore {
         Ok(PatternStore {
             db,
             fault_hook: None,
+            txn_started: None,
         })
     }
 
@@ -170,6 +175,7 @@ impl PatternStore {
         if self.fault_fires("checkpoint") {
             return Err(StoreError::Injected("checkpoint"));
         }
+        let _span = obs::span!("patterndb.checkpoint");
         self.db.checkpoint()?;
         Ok(())
     }
@@ -181,6 +187,7 @@ impl PatternStore {
             return Err(StoreError::Injected("begin"));
         }
         self.db.execute("BEGIN")?;
+        self.txn_started = Some(std::time::Instant::now());
         Ok(())
     }
 
@@ -188,17 +195,26 @@ impl PatternStore {
     /// torn down (rolled back), so the store stays usable for a retry.
     pub fn commit(&mut self) -> Result<(), StoreError> {
         if self.fault_fires("commit") {
+            self.txn_started = None;
             if self.db.in_transaction() {
                 let _ = self.db.execute("ROLLBACK");
             }
             return Err(StoreError::Injected("commit"));
         }
         self.db.execute("COMMIT")?;
+        if let Some(started) = self.txn_started.take() {
+            obs::histogram!(
+                "patterndb_txn_seconds",
+                "Pattern store transaction time, begin to commit"
+            )
+            .record(started.elapsed());
+        }
         Ok(())
     }
 
     /// Abandon the open batch transaction.
     pub fn rollback(&mut self) -> Result<(), StoreError> {
+        self.txn_started = None;
         self.db.execute("ROLLBACK")?;
         Ok(())
     }

@@ -11,7 +11,166 @@
 //! `ingested = matched + unmatched + rejected + malformed` — holds exactly
 //! once the queues are drained, and is asserted that way by the tests.
 
+use obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Append one self-describing counter to a Prometheus text exposition.
+/// Every series rendered through these helpers carries `# HELP`/`# TYPE`
+/// by construction — the class of bug the `promlint` CI gate watches for.
+pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+/// Append one self-describing gauge.
+pub fn push_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Append a self-describing gauge family with one sample per
+/// `(label_value, value)` pair: one `HELP`/`TYPE` header, then the series.
+pub fn push_labeled_gauges(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: impl IntoIterator<Item = (String, f64)>,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    for (value_label, value) in series {
+        out.push_str(&format!("{name}{{{label}=\"{value_label}\"}} {value}\n"));
+    }
+}
+
+/// The pipeline-stage latency histograms. Each accessor resolves its
+/// handle from the process-global [`obs::registry`] once and caches it, so
+/// hot paths pay two relaxed atomic adds per record. [`preregister`] creates
+/// the whole set up front, making the `/metrics` name contract independent
+/// of which code paths have run — the golden-file diff in `ci.sh` relies on
+/// this.
+pub mod stages {
+    use super::*;
+
+    /// Time to parse and route one ingest line (recorded exactly once per
+    /// `ingested`-counted line, so `_count` reconciles with the counter).
+    pub fn ingest_line() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_ingest_line_seconds",
+            "Time to parse and route one ingest line"
+        )
+    }
+
+    /// Time a record spends in its shard queue between route and pop.
+    pub fn queue_wait() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_queue_wait_seconds",
+            "Time a record waits in its shard queue before a worker picks it up"
+        )
+    }
+
+    /// Time to scan and match one record against the published set.
+    pub fn match_record() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_match_seconds",
+            "Time to scan one record and match it against the published pattern set"
+        )
+    }
+
+    /// Time for one shard residue flush (bulk stats + re-mine + publish).
+    pub fn flush() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_flush_seconds",
+            "Time for a shard residue flush: bulk match stats, re-mine, publish"
+        )
+    }
+
+    /// Time to append one record to the ingest WAL.
+    pub fn wal_append() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_wal_append_seconds",
+            "Time to append one accepted record to the ingest WAL"
+        )
+    }
+
+    /// Time for one ingest WAL fsync.
+    pub fn wal_fsync() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_wal_fsync_seconds",
+            "Time for one ingest WAL fsync (sync_data)"
+        )
+    }
+
+    /// Time to replay the ingest WAL at daemon start.
+    pub fn wal_replay() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_wal_replay_seconds",
+            "Time to replay leftover ingest WAL records at start"
+        )
+    }
+
+    /// Per-service match latency family
+    /// (`seqd_service_match_seconds{service="..."}`).
+    pub fn service_match(service: &str) -> Arc<Histogram> {
+        obs::registry().family_histogram(
+            "seqd_service_match_seconds",
+            "Per-service scan-and-match latency",
+            "service",
+            service,
+        )
+    }
+
+    /// Create every stage histogram this workspace records — the seqd hot
+    /// paths above plus the analyser, store, and core-scan stages owned by
+    /// other crates — so a scrape exposes the full contract from the first
+    /// request. Both the daemon and `evalharness`'s production simulator
+    /// call this, keeping their exported series identical.
+    pub fn preregister() {
+        ingest_line();
+        queue_wait();
+        match_record();
+        flush();
+        wal_append();
+        wal_fsync();
+        wal_replay();
+        let r = obs::registry();
+        r.histogram(
+            "rtg_analyze_seconds",
+            "Time for one analyze_by_service batch (scan, mine, persist)",
+        );
+        r.histogram(
+            "rtg_scan_seconds",
+            "Time to scan one service's slice of a batch",
+        );
+        r.histogram(
+            "rtg_parse_seconds",
+            "Time to parse one service's slice against known patterns",
+        );
+        r.histogram(
+            "rtg_parallel_chunk_seconds",
+            "Time for one worker's service chunk in the parallel analyser",
+        );
+        r.histogram(
+            "patterndb_txn_seconds",
+            "Pattern store transaction time, begin to commit",
+        );
+        r.histogram(
+            "patterndb_checkpoint_seconds",
+            "Pattern store checkpoint time",
+        );
+        r.histogram(
+            "core_scan_seconds",
+            "Tokeniser scan time per message (sampled 1/16)",
+        );
+        r.histogram(
+            "core_match_seconds",
+            "Compiled-trie match time per message (sampled 1/16)",
+        );
+    }
+}
 
 /// Monotonic operation counters for one ingest plane.
 #[derive(Debug, Default)]
@@ -133,76 +292,78 @@ impl OpsSnapshot {
     /// contexts without queues (e.g. the production simulation).
     pub fn render_prometheus(&self, queue_depths: &[usize]) -> String {
         let mut out = String::with_capacity(1024);
-        let mut counter = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        };
-        counter(
-            "seqd_ingested_total",
-            "Non-empty stream lines received",
-            self.ingested,
-        );
-        counter(
-            "seqd_matched_total",
-            "Records matched to a known pattern",
-            self.matched,
-        );
-        counter(
-            "seqd_unmatched_total",
-            "Records sent to the re-mining residue",
-            self.unmatched,
-        );
-        counter(
-            "seqd_rejected_total",
-            "Records refused by backpressure",
-            self.rejected,
-        );
-        counter(
-            "seqd_malformed_total",
-            "Lines that were not valid records",
-            self.malformed,
-        );
-        counter(
-            "seqd_dropped_total",
-            "Residue records abandoned after flush retries",
-            self.dropped,
-        );
-        counter(
-            "seqd_replayed_total",
-            "Records recovered from the ingest WAL at start",
-            self.replayed,
-        );
-        counter(
-            "seqd_pattern_swaps_total",
-            "Pattern-set publications",
-            self.swaps,
-        );
-        counter(
-            "seqd_remine_runs_total",
-            "Residue re-mining runs",
-            self.remines,
-        );
+        for (name, help, value) in [
+            (
+                "seqd_ingested_total",
+                "Non-empty stream lines received",
+                self.ingested,
+            ),
+            (
+                "seqd_matched_total",
+                "Records matched to a known pattern",
+                self.matched,
+            ),
+            (
+                "seqd_unmatched_total",
+                "Records sent to the re-mining residue",
+                self.unmatched,
+            ),
+            (
+                "seqd_rejected_total",
+                "Records refused by backpressure",
+                self.rejected,
+            ),
+            (
+                "seqd_malformed_total",
+                "Lines that were not valid records",
+                self.malformed,
+            ),
+            (
+                "seqd_dropped_total",
+                "Residue records abandoned after flush retries",
+                self.dropped,
+            ),
+            (
+                "seqd_replayed_total",
+                "Records recovered from the ingest WAL at start",
+                self.replayed,
+            ),
+            (
+                "seqd_pattern_swaps_total",
+                "Pattern-set publications",
+                self.swaps,
+            ),
+            (
+                "seqd_remine_runs_total",
+                "Residue re-mining runs",
+                self.remines,
+            ),
+        ] {
+            push_counter(&mut out, name, help, value);
+        }
         out.push_str(&format!(
             "# HELP seqd_remine_seconds_total Total time spent re-mining\n\
              # TYPE seqd_remine_seconds_total counter\n\
              seqd_remine_seconds_total {:.6}\n",
             self.remine_ns_total as f64 / 1e9
         ));
-        out.push_str(&format!(
-            "# HELP seqd_remine_seconds_last Duration of the most recent re-mine\n\
-             # TYPE seqd_remine_seconds_last gauge\n\
-             seqd_remine_seconds_last {:.6}\n",
-            self.remine_ns_last as f64 / 1e9
-        ));
+        push_gauge(
+            &mut out,
+            "seqd_remine_seconds_last",
+            "Duration of the most recent re-mine",
+            self.remine_ns_last as f64 / 1e9,
+        );
         if !queue_depths.is_empty() {
-            out.push_str(
-                "# HELP seqd_queue_depth Records waiting in each shard queue\n\
-                 # TYPE seqd_queue_depth gauge\n",
+            push_labeled_gauges(
+                &mut out,
+                "seqd_queue_depth",
+                "Records waiting in each shard queue",
+                "shard",
+                queue_depths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| (i.to_string(), d as f64)),
             );
-            for (i, d) in queue_depths.iter().enumerate() {
-                out.push_str(&format!("seqd_queue_depth{{shard=\"{i}\"}} {d}\n"));
-            }
         }
         out
     }
@@ -257,6 +418,42 @@ mod tests {
             text.matches("# HELP").count(),
             text.matches("# TYPE").count()
         );
+    }
+
+    /// The self-description contract, enforced at the unit level with the
+    /// same linter `ci.sh` runs against a live scrape.
+    #[test]
+    fn prometheus_rendering_passes_promlint() {
+        let ops = Ops::new();
+        Ops::add(&ops.ingested, 7);
+        ops.record_remine(std::time::Duration::from_millis(5));
+        let text = ops.snapshot().render_prometheus(&[3, 0]);
+        assert_eq!(obs::promlint::lint(&text), Vec::new(), "lint:\n{text}");
+    }
+
+    #[test]
+    fn stage_histograms_preregister_and_render_cleanly() {
+        stages::preregister();
+        stages::ingest_line().record_ns(1_000);
+        stages::service_match("sshd").record_ns(2_000);
+        let text = obs::registry().render_prometheus();
+        assert_eq!(obs::promlint::lint(&text), Vec::new(), "lint:\n{text}");
+        let names = obs::promlint::metric_names(&text);
+        for required in [
+            "seqd_ingest_line_seconds",
+            "seqd_queue_wait_seconds",
+            "seqd_match_seconds",
+            "seqd_flush_seconds",
+            "seqd_wal_append_seconds",
+            "seqd_wal_fsync_seconds",
+            "seqd_wal_replay_seconds",
+            "seqd_service_match_seconds",
+            "rtg_analyze_seconds",
+            "patterndb_txn_seconds",
+            "core_scan_seconds",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
     }
 
     #[test]

@@ -191,11 +191,16 @@ pub fn serve_ingest<R: BufRead, W: Write>(
     oversized_carry: bool,
 ) -> std::io::Result<IngestSummary> {
     let mut summary = IngestSummary::default();
+    // One histogram sample per `ingested`-counted line — including
+    // malformed and oversized ones — so `seqd_ingest_line_seconds_count`
+    // reconciles exactly with `seqd_ingested_total` once queues drain.
+    let line_hist = crate::metrics::stages::ingest_line();
     let count_malformed = |summary: &mut IngestSummary| {
         summary.received += 1;
         summary.malformed += 1;
         Ops::inc(&ops.ingested);
         Ops::inc(&ops.malformed);
+        line_hist.record_ns(0);
     };
     if oversized_carry {
         count_malformed(&mut summary);
@@ -223,6 +228,9 @@ pub fn serve_ingest<R: BufRead, W: Write>(
         }
         summary.received += 1;
         Ops::inc(&ops.ingested);
+        // Timed from parse to routed (queue push + WAL append); the socket
+        // read above is excluded — it measures the client, not the daemon.
+        let started = std::time::Instant::now();
         match LogRecord::from_json_line(trimmed) {
             Ok(record) => {
                 if router.route(record) {
@@ -236,6 +244,7 @@ pub fn serve_ingest<R: BufRead, W: Write>(
                 Ops::inc(&ops.malformed);
             }
         }
+        line_hist.record(started.elapsed());
     }
     // The durability barrier: accepted records hit disk before the client
     // hears "accepted".

@@ -8,7 +8,7 @@
 //! gauge for `/metrics`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a push did not enqueue.
@@ -21,7 +21,9 @@ pub enum PushError {
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    /// Each item carries its enqueue instant, so the pop side can record
+    /// queue-wait latency (the `seqd_queue_wait_seconds` histogram).
+    items: VecDeque<(Instant, T)>,
     closed: bool,
 }
 
@@ -33,6 +35,8 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     /// Signalled when an item is dequeued or the queue closes.
     not_full: Condvar,
+    /// Queue-wait latency, recorded at pop when attached.
+    wait_hist: Option<Arc<obs::Histogram>>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -46,7 +50,14 @@ impl<T> BoundedQueue<T> {
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            wait_hist: None,
         }
+    }
+
+    /// Record each item's queue wait (push → pop) into `hist`.
+    pub fn with_wait_histogram(mut self, hist: Arc<obs::Histogram>) -> BoundedQueue<T> {
+        self.wait_hist = Some(hist);
+        self
     }
 
     /// The configured capacity.
@@ -68,7 +79,7 @@ impl<T> BoundedQueue<T> {
                 return Err(PushError::Closed);
             }
             if st.items.len() < self.capacity {
-                st.items.push_back(item);
+                st.items.push_back((Instant::now(), item));
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -91,8 +102,11 @@ impl<T> BoundedQueue<T> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock().expect("queue lock");
         loop {
-            if let Some(item) = st.items.pop_front() {
+            if let Some((pushed_at, item)) = st.items.pop_front() {
                 self.not_full.notify_one();
+                if let Some(hist) = &self.wait_hist {
+                    hist.record(pushed_at.elapsed());
+                }
                 return Ok(Some(item));
             }
             if st.closed {
@@ -196,6 +210,21 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(t.join().unwrap(), Err(()));
+    }
+
+    #[test]
+    fn attached_histogram_records_queue_wait() {
+        let hist = Arc::new(obs::Histogram::new());
+        let q = BoundedQueue::new(4).with_wait_histogram(Arc::clone(&hist));
+        q.push_timeout(1u32, TICK).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        q.push_timeout(2u32, TICK).unwrap();
+        q.pop_timeout(TICK).unwrap();
+        q.pop_timeout(TICK).unwrap();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 2);
+        // The first item waited through the sleep; its wait dominates.
+        assert!(snap.sum_ns >= 5_000_000, "sum = {}", snap.sum_ns);
     }
 
     #[test]

@@ -149,6 +149,10 @@ pub struct SeqdHandle {
 /// left in the log by a previous crash are replayed into the workers
 /// before live traffic.
 pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<SeqdHandle> {
+    // Create the full stage-histogram contract up front: the first scrape
+    // (and the golden metric-name diff in ci.sh) must not depend on which
+    // hot paths have seen traffic.
+    crate::metrics::stages::preregister();
     let engine = SequenceRtg::new(store, config.rtg)
         .map_err(|e| io::Error::other(format!("pattern store load failed: {e}")))?;
     let board = Arc::new(PatternBoard::new());
@@ -166,7 +170,12 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     };
 
     let queues: Vec<_> = (0..shards)
-        .map(|_| Arc::new(BoundedQueue::new(config.queue_capacity)))
+        .map(|_| {
+            Arc::new(
+                BoundedQueue::new(config.queue_capacity)
+                    .with_wait_histogram(Arc::clone(crate::metrics::stages::queue_wait())),
+            )
+        })
         .collect();
     let router = Arc::new(
         Router::new(queues.clone(), Arc::clone(&ops), config.enqueue_timeout).with_wal(wal.clone()),
@@ -389,45 +398,68 @@ fn serve_control<R: io::BufRead, W: io::Write>(
             respond(writer, 200, "application/json", &body)
         }
         ("GET", "/metrics") => {
+            use crate::metrics::{push_gauge, push_labeled_gauges};
             let mut body = shared
                 .ops
                 .snapshot()
                 .render_prometheus(&shared.router.depths());
-            body.push_str(
-                "# HELP seqd_residue_len Unmatched records awaiting re-mining per shard\n\
-                 # TYPE seqd_residue_len gauge\n",
+            push_labeled_gauges(
+                &mut body,
+                "seqd_residue_len",
+                "Unmatched records awaiting re-mining per shard",
+                "shard",
+                shared
+                    .residues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (i.to_string(), r.load(Ordering::Relaxed) as f64)),
             );
-            for (i, r) in shared.residues.iter().enumerate() {
-                body.push_str(&format!(
-                    "seqd_residue_len{{shard=\"{i}\"}} {}\n",
-                    r.load(Ordering::Relaxed)
-                ));
-            }
-            body.push_str(&format!(
-                "# HELP seqd_open_connections Connection threads currently live\n\
-                 # TYPE seqd_open_connections gauge\nseqd_open_connections {}\n",
-                shared.connections.load(Ordering::SeqCst)
-            ));
-            if let Some(wal) = &shared.wal {
-                body.push_str(
-                    "# HELP seqd_wal_pending Unreleased records in each shard's ingest WAL\n\
-                     # TYPE seqd_wal_pending gauge\n",
+            push_gauge(
+                &mut body,
+                "seqd_open_connections",
+                "Connection threads currently live",
+                shared.connections.load(Ordering::SeqCst) as f64,
+            );
+            {
+                // Rendered even without a WAL (as zeros) so the exported
+                // name set is configuration-independent — the metrics
+                // contract gate diffs it against a golden file.
+                let depths = shared
+                    .wal
+                    .as_ref()
+                    .map(|w| w.depths())
+                    .unwrap_or_else(|| vec![0; shared.residues.len()]);
+                push_labeled_gauges(
+                    &mut body,
+                    "seqd_wal_pending",
+                    "Unreleased records in each shard's ingest WAL",
+                    "shard",
+                    depths
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &d)| (i.to_string(), d as f64)),
                 );
-                for (i, d) in wal.depths().iter().enumerate() {
-                    body.push_str(&format!("seqd_wal_pending{{shard=\"{i}\"}} {d}\n"));
-                }
             }
-            body.push_str(&format!(
-                "# HELP seqd_uptime_seconds Seconds since daemon start\n\
-                 # TYPE seqd_uptime_seconds gauge\nseqd_uptime_seconds {:.3}\n",
-                shared.started.elapsed().as_secs_f64()
-            ));
+            push_gauge(
+                &mut body,
+                "seqd_uptime_seconds",
+                "Seconds since daemon start",
+                shared.started.elapsed().as_secs_f64(),
+            );
+            // The pipeline-stage latency histograms (obs registry): scan,
+            // match, analyse, flush, WAL — the "where does a millisecond
+            // go" half of the exposition.
+            body.push_str(&obs::registry().render_prometheus());
             respond(
                 writer,
                 200,
                 "text/plain; version=0.0.4; charset=utf-8",
                 &body,
             )
+        }
+        ("GET", "/debug/slow") => {
+            let body = format!("{}\n", obs::registry().slow().to_json());
+            respond(writer, 200, "application/json", &body)
         }
         ("GET", "/patterns") => {
             let body = patterns_json(shared, req.query.get("service").map(|s| s.as_str()));
@@ -509,8 +541,65 @@ fn stats_json(shared: &Shared) -> String {
             "store_patterns",
             store_patterns.map_or(Value::Null, |n| Value::from(n as i64)),
         ),
+        ("latency_ms", latency_json()),
+        ("service_latency_ms", service_latency_json()),
     ]);
     jsonlite::to_string(&obj)
+}
+
+/// p50/p95/p99 (milliseconds) of one histogram snapshot, or `null` when
+/// the stage has not recorded yet.
+fn quantiles_value(snap: Option<obs::HistSnapshot>) -> Value {
+    let Some(snap) = snap.filter(|s| s.count > 0) else {
+        return Value::Null;
+    };
+    let q = |p: f64| -> Value {
+        snap.quantile_secs(p)
+            .map_or(Value::Null, |s| Value::from(s * 1e3))
+    };
+    jsonlite::object::<&str, Value>([
+        ("count", (snap.count as i64).into()),
+        ("p50", q(0.50)),
+        ("p95", q(0.95)),
+        ("p99", q(0.99)),
+    ])
+}
+
+/// Pipeline-stage percentiles for `/stats`.
+fn latency_json() -> Value {
+    let r = obs::registry();
+    jsonlite::object::<&str, Value>([
+        (
+            "ingest_line",
+            quantiles_value(r.snapshot("seqd_ingest_line_seconds")),
+        ),
+        (
+            "queue_wait",
+            quantiles_value(r.snapshot("seqd_queue_wait_seconds")),
+        ),
+        ("match", quantiles_value(r.snapshot("seqd_match_seconds"))),
+        (
+            "analyze",
+            quantiles_value(r.snapshot("rtg_analyze_seconds")),
+        ),
+        ("flush", quantiles_value(r.snapshot("seqd_flush_seconds"))),
+        (
+            "wal_fsync",
+            quantiles_value(r.snapshot("seqd_wal_fsync_seconds")),
+        ),
+    ])
+}
+
+/// Per-service match-latency percentiles for `/stats`.
+fn service_latency_json() -> Value {
+    let series = obs::registry().family_snapshots("seqd_service_match_seconds");
+    Value::Object(
+        series
+            .into_iter()
+            .filter(|(_, snap)| snap.count > 0)
+            .map(|(service, snap)| (service, quantiles_value(Some(snap))))
+            .collect(),
+    )
 }
 
 fn patterns_json(shared: &Shared, service: Option<&str>) -> String {

@@ -230,6 +230,7 @@ impl ShardWorker {
     ) {
         let Accepted { seq, record } = accepted;
         *max_seq = (*max_seq).max(seq);
+        let started = Instant::now();
         // Parse-only scan: the raw line is only needed again if the record
         // joins the residue (it keeps the LogRecord).
         let scanned = scanner.scan_parse_only(&record.message);
@@ -237,6 +238,23 @@ impl ShardWorker {
             .board
             .load(&record.service)
             .and_then(|set| set.match_message_with(&scanned, scratch));
+        // Attribute construction is deferred behind the slow-ring's atomic
+        // gate, so the per-record cost stays two atomic adds per histogram.
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        crate::metrics::stages::match_record().record_ns(ns);
+        crate::metrics::stages::service_match(&record.service).record_ns(ns);
+        let ring = obs::registry().slow();
+        if ring.admits(ns) {
+            ring.offer(
+                "seqd.match",
+                ns,
+                vec![
+                    ("shard", obs::AttrValue::U64(self.shard_id as u64)),
+                    ("service", obs::AttrValue::Str(record.service.clone())),
+                    ("tokens", obs::AttrValue::U64(scanned.tokens.len() as u64)),
+                ],
+            );
+        }
         match outcome {
             Some(hit) => {
                 Ops::inc(&self.ops.matched);
@@ -275,6 +293,17 @@ impl ShardWorker {
             v
         };
         let services: BTreeSet<&str> = batch.iter().map(|r| r.service.as_str()).collect();
+
+        // Records into `seqd_flush_seconds` on drop; a slow flush lands in
+        // `/debug/slow` with enough attributes to reconstruct the batch.
+        let mut flush_span = obs::span!("seqd.flush");
+        flush_span.attr_u64("shard", self.shard_id as u64);
+        flush_span.attr_u64("batch", batch.len() as u64);
+        flush_span.attr_u64("match_counts", counts.len() as u64);
+        flush_span.attr_u64("services", services.len() as u64);
+        if let Some(first) = services.iter().next() {
+            flush_span.attr_str("service", first);
+        }
 
         let mut counts_done = counts.is_empty();
         let mut mined = batch.is_empty();

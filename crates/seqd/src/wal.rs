@@ -71,8 +71,10 @@ struct ShardWal {
 
 impl ShardWal {
     fn append(&mut self, seq: u64, line: String, sync_every: usize) -> io::Result<()> {
+        let started = std::time::Instant::now();
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
+        crate::metrics::stages::wal_append().record(started.elapsed());
         self.pending.push_back((seq, line));
         self.dirty = true;
         self.appends_since_sync += 1;
@@ -84,7 +86,9 @@ impl ShardWal {
 
     fn sync(&mut self) -> io::Result<()> {
         if self.dirty {
+            let started = std::time::Instant::now();
             self.file.sync_data()?;
+            crate::metrics::stages::wal_fsync().record(started.elapsed());
             self.dirty = false;
             self.appends_since_sync = 0;
         }
@@ -136,6 +140,9 @@ impl IngestWal {
         let dir = dir.as_ref();
         let shards = shards.max(1);
         fs::create_dir_all(dir)?;
+        // The whole recovery — read leftovers, stage, re-route, re-log —
+        // is one replay observation; a slow one shows up in /debug/slow.
+        let mut replay_span = obs::span!("seqd.wal_replay");
 
         // 1. Read every leftover log. `.wal` files are the previous run's
         // logs; `.staged` files are from a recovery that itself crashed
@@ -218,6 +225,8 @@ impl IngestWal {
                 fs::remove_file(&path)?;
             }
         }
+        let replayed: usize = replay.iter().map(|r| r.len()).sum();
+        replay_span.attr_u64("replayed", replayed as u64);
         Ok((wal, replay))
     }
 

@@ -126,6 +126,9 @@ impl PatternSet {
         msg: &TokenizedMessage,
         scratch: &mut MatchScratch,
     ) -> Option<ParseOutcome> {
+        // Sampled 1-in-16: this path runs at >1M msgs/s, so a full span per
+        // call would dominate the work it measures.
+        let _s = obs::sampled_span!("core.match", 4);
         if self.entries.len() <= Self::LINEAR_CUTOFF {
             self.match_message_linear(msg)
         } else {

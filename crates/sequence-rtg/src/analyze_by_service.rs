@@ -138,6 +138,8 @@ impl SequenceRtg {
         batch: &[LogRecord],
         now: u64,
     ) -> Result<BatchReport, StoreError> {
+        let mut analyze_span = obs::span!("rtg.analyze");
+        analyze_span.attr_u64("batch", batch.len() as u64);
         let mut report = BatchReport {
             received: batch.len() as u64,
             ..Default::default()
@@ -148,6 +150,7 @@ impl SequenceRtg {
             by_service.entry(r.service.as_str()).or_default().push(r);
         }
         report.services = by_service.len() as u64;
+        analyze_span.attr_u64("services", by_service.len() as u64);
         let mut services: Vec<&str> = by_service.keys().copied().collect();
         services.sort_unstable();
         // One transaction per batch: a crash mid-batch must not leave a
@@ -235,6 +238,7 @@ impl SequenceRtg {
     }
 
     fn scan_service(&self, records: &[&LogRecord]) -> (Vec<TokenizedMessage>, (u64, u64)) {
+        let _scan_span = obs::span!("rtg.scan");
         let mut multiline = 0;
         let mut empty = 0;
         let scanned: Vec<TokenizedMessage> = records
@@ -262,6 +266,8 @@ impl SequenceRtg {
         now: u64,
         report: &mut BatchReport,
     ) -> Result<Vec<u32>, StoreError> {
+        let mut parse_span = obs::span!("rtg.parse");
+        parse_span.attr_u64("messages", scanned.len() as u64);
         let mut unmatched = Vec::new();
         let mut match_counts: HashMap<String, u64> = HashMap::new();
         {

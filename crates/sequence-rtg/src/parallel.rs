@@ -40,6 +40,9 @@ impl SequenceRtg {
         threads: usize,
     ) -> Result<BatchReport, StoreError> {
         let threads = threads.max(1);
+        let mut analyze_span = obs::span!("rtg.analyze");
+        analyze_span.attr_u64("batch", batch.len() as u64);
+        analyze_span.attr_u64("threads", threads as u64);
         let mut report = BatchReport {
             received: batch.len() as u64,
             ..Default::default()
@@ -70,8 +73,11 @@ impl SequenceRtg {
 
         let outcomes: Vec<ServiceOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for shard in &shards {
+            for (shard_no, shard) in shards.iter().enumerate() {
                 handles.push(scope.spawn(move || {
+                    let mut chunk_span = obs::span!("rtg.parallel_chunk");
+                    chunk_span.attr_u64("shard", shard_no as u64);
+                    chunk_span.attr_u64("services", shard.len() as u64);
                     let mut results = Vec::new();
                     // One trie-walk scratch per worker thread, reused across
                     // every message the shard parses.

@@ -11,6 +11,7 @@ pub use jsonlite;
 pub use loghub_synth;
 pub use logstore;
 pub use minisql;
+pub use obs;
 pub use patterndb;
 pub use seqd;
 pub use sequence_core;
