@@ -36,6 +36,14 @@ stage_begin "cargo test -q --offline"
 cargo test -q --offline --workspace
 stage_end
 
+stage_begin "protocol torture + group commit (release, optimised wire path)"
+# The adversarial wire suites run twice on purpose: the workspace test run
+# above exercises them with debug assertions (including the UTF-8 re-check
+# inside jsonlite's unchecked borrow path), and this release run exercises
+# the exact optimised code the benchmarks and production builds ship.
+cargo test -q --release --offline -p seqd --test protocol_torture --test group_commit
+stage_end
+
 stage_begin "bench smoke (1 sample, JSON to a scratch file)"
 # One warm-up + one sample per benchmark: proves the bench binaries run and
 # emit well-formed JSON without touching the recorded results/ trajectories.
@@ -110,6 +118,26 @@ join "${smoke_json}.base" "${smoke_json}.cur" | awk '
   }'
 rm -f "${smoke_json}.base" "${smoke_json}.cur"
 echo "    regression gate OK"
+stage_end
+
+stage_begin "seqd throughput regression gate (recorded wire-path elem/s vs baseline)"
+# The daemon's headline number: receipt-rate elem/s through the event-loop
+# wire path (first byte -> durable receipt; see benches/seqd_throughput.rs).
+# A re-recorded results/BENCH_seqd.json that drops more than 40% against
+# the frozen baseline fails the gate.
+bench_rates results/BENCH_seqd.baseline.json | sort > "${smoke_json}.base"
+bench_rates results/BENCH_seqd.json | sort > "${smoke_json}.cur"
+join "${smoke_json}.base" "${smoke_json}.cur" | awk '
+  {
+    ratio = $3 / $2
+    printf "    %-45s %12.0f -> %12.0f elem/s (x%.2f)\n", $1, $2, $3, ratio
+    if (ratio < 0.6) { bad = 1 }
+  }
+  END {
+    if (bad) { print "    REGRESSION: >40% drop vs baseline" > "/dev/stderr"; exit 1 }
+  }'
+rm -f "${smoke_json}.base" "${smoke_json}.cur"
+echo "    seqd throughput gate OK"
 stage_end
 
 stage_begin "latency regression gate (recorded seqd p99 vs frozen baseline)"

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod borrow;
 pub mod parse;
 pub mod ser;
 pub mod value;
@@ -189,6 +190,96 @@ mod proptests {
         prop::check(&Config::default(), &prop::ascii_string(0..64), |s| {
             if let Ok(v) = parse(s) {
                 prop_assert_eq!(&parse(&to_string(&v)).unwrap(), &v);
+            }
+            Ok(())
+        });
+    }
+
+    /// Borrow-mode parse is extensionally identical to the owned parse on
+    /// every serialised value: same tree, or the same error.
+    #[test]
+    fn borrow_parse_equals_owned_parse() {
+        prop::check(&Config::default(), &arb_value(), |v| {
+            for s in [to_string(v), to_string_pretty(v)] {
+                let owned = parse(&s);
+                let borrowed = borrow::parse(&s).map(borrow::Value::into_owned);
+                prop_assert_eq!(&borrowed, &owned);
+            }
+            Ok(())
+        });
+    }
+
+    /// ... and on arbitrary (mostly invalid) input, where the errors must
+    /// agree byte-for-byte in offset and kind.
+    #[test]
+    fn borrow_parse_equals_owned_parse_on_garbage() {
+        prop::check(&Config::default(), &prop::unicode_string(0..200), |s| {
+            let owned = parse(s);
+            let borrowed = borrow::parse(s).map(borrow::Value::into_owned);
+            prop_assert_eq!(&borrowed, &owned);
+            Ok(())
+        });
+    }
+
+    /// A borrow is never wrong: the zero-copy fast path is taken exactly
+    /// when the encoded string has no escapes, and either way the decoded
+    /// text equals the owned parser's.
+    #[test]
+    fn escapes_always_force_the_copy_path() {
+        let strategy = (arb_value(), arb_value());
+        prop::check(&Config::default(), &strategy, |(service, message)| {
+            let line = to_string(&object([
+                ("service", service.clone()),
+                ("message", message.clone()),
+            ]));
+            let v = borrow::parse(&line).map_err(|e| format!("{e:?}"))?;
+            for key in ["service", "message"] {
+                let encoded = to_string(parse(&line).unwrap().get(key).unwrap());
+                if let Some(borrow::Value::String(cow)) = v.get(key) {
+                    let has_escape = encoded.contains('\\');
+                    prop_assert_eq!(
+                        matches!(cow, std::borrow::Cow::Owned(_)),
+                        has_escape,
+                        "copy-path mismatch for {encoded:?}"
+                    );
+                }
+            }
+            Ok(())
+        });
+    }
+
+    /// The ingest fast path `object_fields` agrees with the owned
+    /// parse-then-lookup derivation on record-shaped lines (including
+    /// escapes, duplicate keys, extra fields, and invalid documents).
+    #[test]
+    fn object_fields_equals_owned_derivation() {
+        let strategy = (arb_value(), prop::unicode_string(0..80));
+        prop::check(&Config::cases(400), &strategy, |(v, garbage)| {
+            let mut lines = vec![to_string(v), garbage.clone()];
+            if let Value::String(s) = v {
+                lines.push(format!(
+                    "{{\"service\":{0},\"message\":{0},\"service\":{0}}}",
+                    to_string(&Value::String(s.clone()))
+                ));
+            }
+            for line in lines {
+                let expected = match parse(&line) {
+                    Err(e) => Err(borrow::FieldsError::Json(e)),
+                    Ok(v) => match v.as_object() {
+                        None => Err(borrow::FieldsError::NotAnObject),
+                        Some(obj) => Ok([
+                            obj.get("service")
+                                .and_then(|x| x.as_str())
+                                .map(String::from),
+                            obj.get("message")
+                                .and_then(|x| x.as_str())
+                                .map(String::from),
+                        ]),
+                    },
+                };
+                let got = borrow::object_fields(&line, ["service", "message"])
+                    .map(|f| f.map(|o| o.map(|c| c.into_owned())));
+                prop_assert_eq!(&got, &expected, "line {:?}", &line);
             }
             Ok(())
         });

@@ -1,0 +1,53 @@
+//! Golden test: the borrow-mode fast path performs **zero** heap
+//! allocations.
+//!
+//! This binary installs `testkit::alloc::CountingAlloc` as the global
+//! allocator and must therefore contain exactly one `#[test]` — the
+//! counter is process-wide, and parallel tests would bleed allocations
+//! into each other's measurement windows.
+
+use std::borrow::Cow;
+use testkit::alloc;
+
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+#[test]
+fn borrow_fast_path_allocates_nothing() {
+    let plain = r#"{"service":"sshd","message":"Accepted password for root from 10.0.0.1 port 22","pid":4242,"tags":["auth","ssh"]}"#;
+    let escaped = r#"{"service":"sshd","message":"line one\nline two"}"#;
+
+    // Warm up: fault in any lazy statics / IO buffers outside the window.
+    let _ = jsonlite::borrow::object_fields(plain, ["service", "message"]);
+    let _ = jsonlite::borrow::object_fields(escaped, ["service", "message"]);
+
+    // The zero-copy fast path: escape-free fields borrow from the input,
+    // unrelated fields (numbers, arrays) are skipped without building
+    // anything. Not one allocator call is allowed.
+    let (result, allocs) = alloc::measure(|| {
+        let mut checksum = 0usize;
+        for _ in 0..100 {
+            let [service, message] =
+                jsonlite::borrow::object_fields(plain, ["service", "message"]).expect("valid line");
+            let (service, message) = (service.unwrap(), message.unwrap());
+            assert!(matches!(service, Cow::Borrowed(_)));
+            assert!(matches!(message, Cow::Borrowed(_)));
+            checksum += service.len() + message.len();
+        }
+        checksum
+    });
+    assert_eq!(
+        result,
+        100 * ("sshd".len() + "Accepted password for root from 10.0.0.1 port 22".len())
+    );
+    assert_eq!(allocs, 0, "zero-copy fast path must not allocate");
+
+    // Control: the escape path MUST allocate (the unescaped text differs
+    // from the raw bytes), proving the counter actually observes this code.
+    let (_, allocs) = alloc::measure(|| {
+        let [_, message] =
+            jsonlite::borrow::object_fields(escaped, ["service", "message"]).expect("valid line");
+        assert!(matches!(message.unwrap(), Cow::Owned(_)));
+    });
+    assert!(allocs > 0, "escape path must take the copy path");
+}

@@ -4,6 +4,7 @@
 //! seqd [--addr HOST:PORT] [--store PATH] [--shards N] [--batch-size N]
 //!      [--queue-capacity N] [--io-timeout-ms N] [--max-line-len N]
 //!      [--wal-dir PATH] [--wal-sync-every N] [--no-wal]
+//!      [--wire event-loop|blocking] [--pollers N]
 //! ```
 //!
 //! With `--store` the pattern database is loaded from (and checkpointed back
@@ -15,7 +16,7 @@
 //! exits after a `POST /shutdown` completes the drain.
 
 use patterndb::PatternStore;
-use seqd::server::{start, SeqdConfig};
+use seqd::server::{start, SeqdConfig, WireMode};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -54,11 +55,22 @@ fn main() -> ExitCode {
                 config.wal_sync_every = parse(&value("--wal-sync-every"), "--wal-sync-every")
             }
             "--no-wal" => no_wal = true,
+            "--wire" => {
+                config.wire = match value("--wire").as_str() {
+                    "event-loop" => WireMode::EventLoop,
+                    "blocking" => WireMode::Blocking,
+                    other => fail(&format!(
+                        "--wire expects event-loop or blocking, got {other:?}"
+                    )),
+                }
+            }
+            "--pollers" => config.pollers = parse(&value("--pollers"), "--pollers"),
             "--help" | "-h" => {
                 println!(
                     "usage: seqd [--addr HOST:PORT] [--store PATH] [--shards N] \
                      [--batch-size N] [--queue-capacity N] [--io-timeout-ms N] \
-                     [--max-line-len N] [--wal-dir PATH] [--wal-sync-every N] [--no-wal]"
+                     [--max-line-len N] [--wal-dir PATH] [--wal-sync-every N] [--no-wal] \
+                     [--wire event-loop|blocking] [--pollers N]"
                 );
                 return ExitCode::SUCCESS;
             }

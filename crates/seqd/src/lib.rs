@@ -44,11 +44,14 @@
 
 #![warn(missing_docs)]
 
+pub mod eventloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod queue;
+pub mod ringbuf;
 pub mod server;
 pub mod shard;
 pub mod swap;

@@ -112,6 +112,32 @@ pub mod stages {
         )
     }
 
+    /// Time one event-loop poller spends blocked in `poll(2)` per
+    /// iteration (idle waits included — this is the loop's duty cycle).
+    pub fn poll_wait() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_poll_wait_seconds",
+            "Time an event-loop poller spends blocked in poll(2) per iteration"
+        )
+    }
+
+    /// Time to drain one ready connection's socket into its ring buffer
+    /// (the vectored-read batch of one poll iteration).
+    pub fn batch_read() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_batch_read_seconds",
+            "Time to drain one ready connection into its ring buffer per poll iteration"
+        )
+    }
+
+    /// Time to split and parse the NDJSON frames of one drained read.
+    pub fn frame_split() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_frame_split_seconds",
+            "Time to split and parse the NDJSON frames of one drained read"
+        )
+    }
+
     /// Per-service match latency family
     /// (`seqd_service_match_seconds{service="..."}`).
     pub fn service_match(service: &str) -> Arc<Histogram> {
@@ -136,6 +162,9 @@ pub mod stages {
         wal_append();
         wal_fsync();
         wal_replay();
+        poll_wait();
+        batch_read();
+        frame_split();
         let r = obs::registry();
         r.histogram(
             "rtg_analyze_seconds",
@@ -447,6 +476,9 @@ mod tests {
             "seqd_wal_append_seconds",
             "seqd_wal_fsync_seconds",
             "seqd_wal_replay_seconds",
+            "seqd_poll_wait_seconds",
+            "seqd_batch_read_seconds",
+            "seqd_frame_split_seconds",
             "seqd_service_match_seconds",
             "rtg_analyze_seconds",
             "patterndb_txn_seconds",

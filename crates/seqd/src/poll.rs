@@ -1,0 +1,114 @@
+//! A minimal `poll(2)` readiness wrapper over raw fds — no `libc` crate.
+//!
+//! The workspace's dependency policy (DESIGN.md §5) forbids external
+//! crates, so the event loop binds the one syscall it needs directly:
+//! `poll` has a stable C ABI on every Unix this daemon targets, and its
+//! fd-set shape (`struct pollfd`) is three plain integers. Everything else
+//! — nonblocking sockets, vectored reads, the self-pipe — is `std`.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_ulong};
+use std::time::Duration;
+
+/// Readable data available (or EOF/peer close pending a read).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — layout-compatible with C `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Did the kernel report any of `mask` (or an error/hangup, which a
+    /// subsequent read will surface properly)?
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Block until at least one fd in `fds` is ready or `timeout` elapses.
+/// Returns the number of ready fds — 0 on timeout or `EINTR` (a spurious
+/// 0-ready wake is always safe for readiness loops).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let timeout_ms: c_int = timeout.as_millis().min(c_int::MAX as u128) as c_int;
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        // A signal interrupted the wait. An early return with zero ready
+        // fds is indistinguishable from a timeout and handled identically
+        // by every caller, so report exactly that.
+        return Ok(0);
+    }
+    Err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Duration::from_millis(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn hangup_reports_ready_so_read_observes_eof() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Duration::from_millis(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+}

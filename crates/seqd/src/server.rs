@@ -34,6 +34,7 @@
 //! deadline) and checkpoints the store before returning the final counter
 //! snapshot.
 
+use crate::eventloop::{self, EventLoop, EventLoopDeps};
 use crate::http::{respond, Request};
 use crate::metrics::{Ops, OpsSnapshot};
 use crate::protocol::{read_line_capped, serve_ingest, LineOutcome};
@@ -46,11 +47,23 @@ use patterndb::PatternStore;
 use sequence_rtg::{RtgConfig, SequenceRtg};
 use std::io::{self, BufReader, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which wire path serves ingest connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Nonblocking readiness event loop: a fixed poller pool, ring-buffer
+    /// reads, batched routing, group-commit receipts. The default.
+    EventLoop,
+    /// The original thread-per-connection blocking path. Kept for A/B
+    /// equivalence testing and as an operational escape hatch.
+    Blocking,
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +95,11 @@ pub struct SeqdConfig {
     pub flush_retries: u32,
     /// Backoff before the first flush retry; doubles per attempt.
     pub flush_backoff: Duration,
+    /// Ingest wire path (see [`WireMode`]).
+    pub wire: WireMode,
+    /// Event-loop poller threads; `0` means auto (one per core, capped).
+    /// Ignored in [`WireMode::Blocking`].
+    pub pollers: usize,
     /// Mining configuration. `save_threshold` should stay 0 for the daemon:
     /// store-wide pruning from one shard would silently invalidate sets
     /// owned by the others (prune offline, between runs, instead).
@@ -101,6 +119,8 @@ impl Default for SeqdConfig {
             wal_sync_every: 256,
             flush_retries: 3,
             flush_backoff: Duration::from_millis(50),
+            wire: WireMode::EventLoop,
+            pollers: 0,
             rtg: RtgConfig {
                 batch_size: 5_000,
                 save_threshold: 0,
@@ -117,10 +137,15 @@ struct Shared {
     router: Arc<Router>,
     residues: Vec<Arc<AtomicUsize>>,
     wal: Option<Arc<IngestWal>>,
-    connections: AtomicUsize,
+    connections: Arc<AtomicUsize>,
     io_timeout: Duration,
     max_line_len: usize,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
+    /// Wake pipes for the event-loop pollers (unset in blocking mode);
+    /// shutdown kicks them out of `poll` so the drain starts promptly.
+    /// `OnceLock` because the pollers start after `Shared` is built (their
+    /// control-handoff closure captures it).
+    poller_wakers: std::sync::OnceLock<Vec<UnixStream>>,
     started: Instant,
     addr: SocketAddr,
 }
@@ -141,6 +166,7 @@ pub struct SeqdHandle {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    event_loop: Option<EventLoop>,
 }
 
 /// Start the daemon on `addr` (use port 0 for an ephemeral port) over the
@@ -192,10 +218,11 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         router: Arc::clone(&router),
         residues: residues.clone(),
         wal: wal.clone(),
-        connections: AtomicUsize::new(0),
+        connections: Arc::new(AtomicUsize::new(0)),
         io_timeout: config.io_timeout,
         max_line_len: config.max_line_len.max(16),
-        shutdown: AtomicBool::new(false),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        poller_wakers: std::sync::OnceLock::new(),
         started: Instant::now(),
         addr: local_addr,
     });
@@ -222,8 +249,70 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         })
         .collect();
 
+    // The event-loop pool (default mode): pollers own the ingest sockets;
+    // HTTP connections are handed back to the blocking control plane with
+    // their already-buffered bytes prepended.
+    let event_loop = match config.wire {
+        WireMode::Blocking => None,
+        WireMode::EventLoop => {
+            let control: Arc<dyn Fn(TcpStream, Vec<u8>) + Send + Sync> = {
+                let shared = Arc::clone(&shared);
+                Arc::new(move |stream: TcpStream, prefix: Vec<u8>| {
+                    let shared = Arc::clone(&shared);
+                    // The guard rides into the thread; a failed spawn drops
+                    // the closure unrun and still decrements the gauge.
+                    let guard = ConnGuard(Arc::clone(&shared));
+                    let _ = std::thread::Builder::new()
+                        .name("seqd-ctl".to_string())
+                        .spawn(move || {
+                            let _guard = guard;
+                            let _ = stream.set_nonblocking(false);
+                            if !shared.io_timeout.is_zero() {
+                                let _ = stream.set_read_timeout(Some(shared.io_timeout));
+                                let _ = stream.set_write_timeout(Some(shared.io_timeout));
+                            }
+                            let Ok(clone) = stream.try_clone() else {
+                                return;
+                            };
+                            let mut reader = io::Cursor::new(prefix).chain(BufReader::new(clone));
+                            let mut writer = BufWriter::new(stream);
+                            let _ = serve_control(&mut reader, &mut writer, &shared);
+                        });
+                })
+            };
+            let pollers = if config.pollers == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
+                    .clamp(1, 8)
+            } else {
+                config.pollers
+            };
+            let deps = EventLoopDeps {
+                router: Arc::clone(&router),
+                ops: Arc::clone(&ops),
+                connections: Arc::clone(&shared.connections),
+                shutdown: Arc::clone(&shared.shutdown),
+                max_line_len: shared.max_line_len,
+                io_timeout: shared.io_timeout,
+                control,
+            };
+            let (event_loop, dispatcher) = EventLoop::start(deps, pollers)?;
+            shared
+                .poller_wakers
+                .set(event_loop.wakers()?)
+                .map_err(|_| io::Error::other("poller wakers already set"))?;
+            Some((event_loop, dispatcher))
+        }
+    };
+    let (event_loop, dispatcher) = match event_loop {
+        Some((el, d)) => (Some(el), Some(d)),
+        None => (None, None),
+    };
+
     let acceptor = {
         let shared = Arc::clone(&shared);
+        let mut dispatcher = dispatcher;
         std::thread::Builder::new()
             .name("seqd-acceptor".to_string())
             .spawn(move || {
@@ -232,6 +321,15 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    if let Some(dispatcher) = dispatcher.as_mut() {
+                        // Event-loop mode: the poller owns the socket from
+                        // here (nonblocking; deadlines become idle eviction).
+                        shared.connections.fetch_add(1, Ordering::SeqCst);
+                        if !dispatcher.dispatch(stream) {
+                            shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        continue;
+                    }
                     // Arm the deadlines before any handler byte is read;
                     // `Some(ZERO)` is an error to the socket API, so ZERO
                     // means "no deadline" here.
@@ -263,6 +361,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         shared,
         acceptor,
         workers,
+        event_loop,
     })
 }
 
@@ -294,6 +393,11 @@ impl SeqdHandle {
         self.acceptor
             .join()
             .map_err(|_| io::Error::other("acceptor panicked"))?;
+        // Pollers see the shutdown flag, receipt every open ingest stream,
+        // and exit; their queue pushes all reject once the router closes.
+        if let Some(event_loop) = self.event_loop {
+            event_loop.join()?;
+        }
         for w in self.workers {
             w.join()
                 .map_err(|_| io::Error::other("shard worker panicked"))?;
@@ -323,6 +427,10 @@ fn initiate_shutdown(shared: &Shared) {
         return; // already draining
     }
     shared.router.close();
+    // Kick sleeping pollers so they finalize their connections now.
+    if let Some(wakers) = shared.poller_wakers.get() {
+        eventloop::wake(wakers);
+    }
     // Wake the acceptor out of `accept()` with a throwaway connection.
     let _ = TcpStream::connect(shared.addr);
 }

@@ -25,11 +25,9 @@ use crate::metrics::Ops;
 use crate::queue::{BoundedQueue, PushError};
 use crate::swap::PatternBoard;
 use crate::wal::{Accepted, IngestWal};
-use sequence_core::{MatchScratch, Scanner};
+use sequence_core::{MatchScratch, Scanner, TokenizedMessage};
 use sequence_rtg::{LogRecord, SequenceRtg};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
@@ -48,10 +46,19 @@ pub fn now_unix() -> u64 {
 /// The shard a service hashes to among `shards` shards. Shared by the
 /// router and WAL recovery, so replayed records land on the shard the
 /// *current* layout assigns even if `--shards` changed across the restart.
+///
+/// FNV-1a rather than `DefaultHasher`: SipHash costs ~50 ns per call on
+/// the per-line ingest path, and its keyed/DoS-resistant properties buy
+/// nothing here — service names are short, the hash is recomputed from
+/// scratch on replay (never persisted), and a pathological skew merely
+/// unbalances shards.
 pub fn shard_for(service: &str, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    service.hash(&mut h);
-    (h.finish() % shards.max(1) as u64) as usize
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in service.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
 }
 
 /// The ingest-side router: hashes a record's service to a shard queue and
@@ -113,6 +120,29 @@ impl Router {
         }
     }
 
+    /// Route a batch of records that all hash to shard `shard` (the caller
+    /// groups by [`Router::shard_of`]). One queue lock, one WAL append,
+    /// one condvar wake for the whole batch. Returns how many records from
+    /// the *front* were accepted; the rest are counted `rejected`.
+    pub fn route_batch(&self, shard: usize, records: Vec<LogRecord>) -> usize {
+        let total = records.len();
+        if total == 0 {
+            return 0;
+        }
+        let queue = &self.queues[shard];
+        let accepted = match &self.wal {
+            Some(wal) => wal.append_route_batch(shard, records, queue, self.enqueue_timeout),
+            None => {
+                let batch: Vec<Accepted> = records.into_iter().map(Accepted::untracked).collect();
+                queue.push_batch(batch, self.enqueue_timeout)
+            }
+        };
+        if accepted < total {
+            Ops::add(&self.ops.rejected, (total - accepted) as u64);
+        }
+        accepted
+    }
+
     /// Fsync the WAL (no-op without one): the receipt barrier.
     pub fn sync_wal(&self) -> std::io::Result<()> {
         match &self.wal {
@@ -171,8 +201,14 @@ impl ShardWorker {
             Scanner::with_options(engine.config().scanner)
         };
         let mut scratch = MatchScratch::default();
+        // Reused token buffer: after the first few records the scan itself
+        // allocates nothing (tokens are stored inline up to the cap).
+        let mut tokens = TokenizedMessage::default();
         let mut residue: Vec<LogRecord> = Vec::new();
         let mut match_counts: HashMap<String, u64> = HashMap::new();
+        // Per-service histogram handles, cached so the hot loop skips the
+        // registry lock that `stages::service_match` takes per call.
+        let mut svc_hists: HashMap<String, Arc<obs::Histogram>> = HashMap::new();
         // Highest WAL sequence this worker has fully taken charge of; a
         // flush releases the log up to here.
         let mut max_seq: u64 = 0;
@@ -184,6 +220,8 @@ impl ShardWorker {
                 accepted,
                 &scanner,
                 &mut scratch,
+                &mut tokens,
+                &mut svc_hists,
                 &mut residue,
                 &mut match_counts,
                 &mut max_seq,
@@ -193,22 +231,27 @@ impl ShardWorker {
             }
         }
 
+        // Pop in batches: one queue lock per burst instead of per record.
+        let pop_cap = self.batch_size.clamp(1, 512);
         loop {
-            match self.queue.pop_timeout(POP_TICK) {
-                Ok(Some(accepted)) => {
-                    self.process(
-                        accepted,
-                        &scanner,
-                        &mut scratch,
-                        &mut residue,
-                        &mut match_counts,
-                        &mut max_seq,
-                    );
-                    if residue.len() >= self.batch_size {
-                        self.flush(&mut residue, &mut match_counts, max_seq);
+            match self.queue.pop_batch(pop_cap, POP_TICK) {
+                Ok(batch) => {
+                    for accepted in batch {
+                        self.process(
+                            accepted,
+                            &scanner,
+                            &mut scratch,
+                            &mut tokens,
+                            &mut svc_hists,
+                            &mut residue,
+                            &mut match_counts,
+                            &mut max_seq,
+                        );
+                        if residue.len() >= self.batch_size {
+                            self.flush(&mut residue, &mut match_counts, max_seq);
+                        }
                     }
                 }
-                Ok(None) => {} // idle tick; nothing to do yet
                 Err(()) => {
                     // Closed and drained: one final flush, then exit.
                     self.flush(&mut residue, &mut match_counts, max_seq);
@@ -219,11 +262,14 @@ impl ShardWorker {
     }
 
     /// Match one accepted record, growing the residue or the match counts.
+    #[allow(clippy::too_many_arguments)]
     fn process(
         &self,
         accepted: Accepted,
         scanner: &Scanner,
         scratch: &mut MatchScratch,
+        tokens: &mut TokenizedMessage,
+        svc_hists: &mut HashMap<String, Arc<obs::Histogram>>,
         residue: &mut Vec<LogRecord>,
         match_counts: &mut HashMap<String, u64>,
         max_seq: &mut u64,
@@ -231,18 +277,26 @@ impl ShardWorker {
         let Accepted { seq, record } = accepted;
         *max_seq = (*max_seq).max(seq);
         let started = Instant::now();
-        // Parse-only scan: the raw line is only needed again if the record
-        // joins the residue (it keeps the LogRecord).
-        let scanned = scanner.scan_parse_only(&record.message);
+        // Parse-only scan into the worker's reused token buffer: the raw
+        // line is only needed again if the record joins the residue (it
+        // keeps the LogRecord).
+        scanner.scan_into(&record.message, tokens);
         let outcome = self
             .board
             .load(&record.service)
-            .and_then(|set| set.match_message_with(&scanned, scratch));
+            .and_then(|set| set.match_message_with(tokens, scratch));
         // Attribute construction is deferred behind the slow-ring's atomic
         // gate, so the per-record cost stays two atomic adds per histogram.
         let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         crate::metrics::stages::match_record().record_ns(ns);
-        crate::metrics::stages::service_match(&record.service).record_ns(ns);
+        match svc_hists.get(record.service.as_str()) {
+            Some(hist) => hist.record_ns(ns),
+            None => {
+                let hist = crate::metrics::stages::service_match(&record.service);
+                hist.record_ns(ns);
+                svc_hists.insert(record.service.clone(), hist);
+            }
+        }
         let ring = obs::registry().slow();
         if ring.admits(ns) {
             ring.offer(
@@ -251,7 +305,7 @@ impl ShardWorker {
                 vec![
                     ("shard", obs::AttrValue::U64(self.shard_id as u64)),
                     ("service", obs::AttrValue::Str(record.service.clone())),
-                    ("tokens", obs::AttrValue::U64(scanned.tokens.len() as u64)),
+                    ("tokens", obs::AttrValue::U64(tokens.tokens.len() as u64)),
                 ],
             );
         }
@@ -437,6 +491,18 @@ mod tests {
         // Bounded: the queue still holds exactly its one slot.
         assert_eq!(queues[0].depth(), 1);
         assert_eq!(router.depths(), vec![1]);
+    }
+
+    #[test]
+    fn route_batch_counts_the_rejected_suffix() {
+        let (router, queues, ops) = test_setup(2, 1);
+        let records: Vec<LogRecord> = (0..5)
+            .map(|i| record("svc", &format!("event {i}")))
+            .collect();
+        assert_eq!(router.route_batch(0, records), 2);
+        assert_eq!(ops.snapshot().rejected, 3);
+        assert_eq!(queues[0].depth(), 2);
+        assert_eq!(router.route_batch(0, Vec::new()), 0);
     }
 
     #[test]

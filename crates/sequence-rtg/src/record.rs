@@ -51,20 +51,23 @@ impl LogRecord {
     }
 
     /// Parse one JSON stream line.
+    ///
+    /// Uses the jsonlite borrow mode: the document is validated in full,
+    /// but no value tree is built and — on escape-free lines — the only
+    /// heap allocations are the two returned field `String`s.
     pub fn from_json_line(line: &str) -> Result<LogRecord, RecordError> {
-        let v = jsonlite::parse(line.trim()).map_err(RecordError::Json)?;
-        let obj = v.as_object().ok_or(RecordError::NotAnObject)?;
-        let service = obj
-            .get("service")
-            .and_then(|s| s.as_str())
-            .ok_or(RecordError::MissingService)?
-            .to_string();
-        let message = obj
-            .get("message")
-            .and_then(|s| s.as_str())
-            .ok_or(RecordError::MissingMessage)?
-            .to_string();
-        Ok(LogRecord { service, message })
+        match jsonlite::borrow::object_fields(line.trim(), ["service", "message"]) {
+            Ok([service, message]) => {
+                let service = service.ok_or(RecordError::MissingService)?;
+                let message = message.ok_or(RecordError::MissingMessage)?;
+                Ok(LogRecord {
+                    service: service.into_owned(),
+                    message: message.into_owned(),
+                })
+            }
+            Err(jsonlite::borrow::FieldsError::NotAnObject) => Err(RecordError::NotAnObject),
+            Err(jsonlite::borrow::FieldsError::Json(e)) => Err(RecordError::Json(e)),
+        }
     }
 
     /// Serialise back to the stream format (multi-line messages stay one

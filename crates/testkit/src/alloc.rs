@@ -1,0 +1,82 @@
+//! A counting global allocator for zero-allocation golden tests.
+//!
+//! Hot-path claims like "the zero-copy parse performs no heap allocation"
+//! rot silently: one innocent `to_string()` added three layers down and the
+//! claim is false with every test still green. The only trustworthy pin is
+//! to count real allocator calls. [`CountingAlloc`] wraps the system
+//! allocator and counts every `alloc`/`realloc`; a test binary installs it
+//! with `#[global_allocator]` and asserts on [`allocations`] deltas.
+//!
+//! The counter is process-global, so zero-allocation assertions belong in
+//! a dedicated integration-test binary with a single `#[test]` — the
+//! default multi-threaded test harness would otherwise bleed allocations
+//! from unrelated tests into the window being measured.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: testkit::alloc::CountingAlloc = testkit::alloc::CountingAlloc;
+//!
+//! let (value, allocs) = testkit::alloc::measure(|| hot_path(input));
+//! assert_eq!(allocs, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `GlobalAlloc` that forwards to the system allocator and counts every
+/// allocation and reallocation (frees are not counted — a zero-alloc claim
+/// is about acquiring memory, not releasing it).
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations since process start (0 unless [`CountingAlloc`] is
+/// installed as the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return its result together with the number of allocations
+/// performed while it ran (process-wide — see the module docs for why the
+/// caller must control concurrency).
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let value = f();
+    let after = allocations();
+    (value, after - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Without installing the allocator the counter stays flat; `measure`
+    // still reports a well-formed delta.
+    #[test]
+    fn measure_reports_a_delta() {
+        let (value, allocs) = measure(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert_eq!(allocs, 0);
+    }
+}

@@ -315,13 +315,7 @@ impl Bencher {
         let warmup_start = Instant::now();
         black_box(f());
         let once = warmup_start.elapsed();
-
-        let target = Duration::from_millis(2);
-        let inner: u64 = if once >= target {
-            1
-        } else {
-            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
-        };
+        let inner = Self::inner_iters(once);
 
         let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -331,6 +325,37 @@ impl Bencher {
             }
             per_iter_ns.push(start.elapsed().as_nanos() as f64 / inner as f64);
         }
+        self.record(per_iter_ns);
+    }
+
+    /// Time with caller-controlled measurement (criterion's `iter_custom`
+    /// signature): `f(n)` performs `n` iterations and returns only the
+    /// duration the caller chose to time. Use when an iteration includes
+    /// work that must happen but must not be measured — e.g. draining a
+    /// daemon's queues between waves while timing only the wire path.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let once = f(1); // warm-up + calibration
+        let inner = Self::inner_iters(once);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let timed = f(inner);
+            per_iter_ns.push(timed.as_nanos() as f64 / inner as f64);
+        }
+        self.record(per_iter_ns);
+    }
+
+    /// Inner-loop size so one sample spans ≥ ~2 ms.
+    fn inner_iters(once: Duration) -> u64 {
+        let target = Duration::from_millis(2);
+        if once >= target {
+            1
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+        }
+    }
+
+    fn record(&mut self, mut per_iter_ns: Vec<f64>) {
         per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
 
         let n = per_iter_ns.len();

@@ -21,6 +21,9 @@
 //!   `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`),
 //!   so the bench names/IDs of `crates/bench` stay stable. Replaces
 //!   `criterion`.
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper so golden tests
+//!   can pin "this hot path performs zero heap allocations" against real
+//!   allocator traffic instead of code review.
 //!
 //! Determinism is the point: every generator is seeded, the default
 //! property-test seed is fixed (override with `TESTKIT_PROP_SEED`), and the
@@ -28,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod fault;
 pub mod prop;
