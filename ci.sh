@@ -92,7 +92,9 @@ grep -q '"id":"scanner/parse_only"' "${smoke_json}"
 TESTKIT_BENCH_SAMPLES=1 TESTKIT_BENCH_JSON="${smoke_json}" \
   cargo bench -q --offline -p bench --bench seqd_throughput >/dev/null
 grep -q '"id":"seqd/ingest_tcp"' "${smoke_json}"
+grep -q '"id":"seqd/ingest_tcp_remine"' "${smoke_json}"
 grep -q '"id":"seqd/ingest_line_latency"' "${smoke_json}"
+grep -q '"id":"seqd/mine_stall"' "${smoke_json}"
 echo "    bench smoke OK"
 stage_end
 
@@ -158,6 +160,23 @@ awk -v base="${base_p99}" -v cur="${cur_p99}" 'BEGIN {
   if (ratio > 1.5) { print "    REGRESSION: p99 >50% above baseline" > "/dev/stderr"; exit 1 }
 }'
 echo "    latency gate OK"
+stage_end
+
+stage_begin "mine-stall gate (recorded worker handoff pause, absolute ceiling)"
+# The point of the background mining pipeline: handing residue to the miner
+# must never stall a shard worker for a humanly-noticeable beat. Unlike the
+# ratio gates above this one is absolute — the recorded seqd/mine_stall
+# maximum (from the churn bench, re-mines forced mid-run) must stay under
+# 5 ms, the bar the inline-mining design could exceed a thousandfold.
+stall_max=$(sed -n 's/.*"id":"seqd\/mine_stall".*"max_ns":\([0-9]*\).*/\1/p' \
+  results/BENCH_seqd.json)
+[[ -n "${stall_max}" ]] \
+  || { echo "mine_stall record missing from results/BENCH_seqd.json" >&2; exit 1; }
+awk -v max="${stall_max}" 'BEGIN {
+  printf "    max mine-handoff stall %.3f ms (ceiling 5 ms)\n", max / 1e6
+  if (max > 5000000) { print "    REGRESSION: mine stall above 5 ms" > "/dev/stderr"; exit 1 }
+}'
+echo "    mine-stall gate OK"
 stage_end
 
 stage_begin "seqd smoke (start -> ingest -> /healthz -> shutdown)"

@@ -14,7 +14,7 @@
 //!   continuity with earlier recordings.
 
 use loghub_synth::generate;
-use sequence_core::{Pattern, PatternSet, Scanner, TokenizedMessage};
+use sequence_core::{MatchScratch, Pattern, PatternSet, Scanner, TokenizedMessage};
 use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
 use std::hint::black_box;
 use testkit::bench::{criterion_group, BenchmarkId, Criterion, Throughput};
@@ -111,12 +111,17 @@ fn bench_learned_openssh(c: &mut Criterion) {
             hits
         })
     });
+    // The production hot path, exactly as the shard worker runs it: a
+    // parse-only scan into a reused token buffer and a match with a reused
+    // scratch — zero allocation per message once the buffers are warm.
     group.bench_function("scan_and_match", |b| {
+        let mut tokens = TokenizedMessage::default();
+        let mut scratch = MatchScratch::default();
         b.iter(|| {
             let mut hits = 0usize;
             for l in &test.lines {
-                let msg = scanner.scan(black_box(&l.raw));
-                if set.match_message(&msg).is_some() {
+                scanner.scan_into(black_box(&l.raw), &mut tokens);
+                if set.match_message_with(&tokens, &mut scratch).is_some() {
                     hits += 1;
                 }
             }

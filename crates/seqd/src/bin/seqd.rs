@@ -4,8 +4,12 @@
 //! seqd [--addr HOST:PORT] [--store PATH] [--shards N] [--batch-size N]
 //!      [--queue-capacity N] [--io-timeout-ms N] [--max-line-len N]
 //!      [--wal-dir PATH] [--wal-sync-every N] [--no-wal]
-//!      [--wire event-loop|blocking] [--pollers N]
+//!      [--wire event-loop|blocking] [--pollers N] [--miners N]
 //! ```
+//!
+//! `--miners N` sizes the background mining pool (default: a quarter of the
+//! cores, at least 1). `--miners 0` mines inline on the shard workers — the
+//! pre-pipeline behaviour, kept as an operational escape hatch.
 //!
 //! With `--store` the pattern database is loaded from (and checkpointed back
 //! to) the given path, and the ingest WAL defaults to `<store>/ingest-wal`
@@ -65,12 +69,13 @@ fn main() -> ExitCode {
                 }
             }
             "--pollers" => config.pollers = parse(&value("--pollers"), "--pollers"),
+            "--miners" => config.miners = parse(&value("--miners"), "--miners"),
             "--help" | "-h" => {
                 println!(
                     "usage: seqd [--addr HOST:PORT] [--store PATH] [--shards N] \
                      [--batch-size N] [--queue-capacity N] [--io-timeout-ms N] \
                      [--max-line-len N] [--wal-dir PATH] [--wal-sync-every N] [--no-wal] \
-                     [--wire event-loop|blocking] [--pollers N]"
+                     [--wire event-loop|blocking] [--pollers N] [--miners N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -100,6 +105,7 @@ fn main() -> ExitCode {
 
     let shards = config.shards;
     let batch_size = config.batch_size;
+    let miners = config.miners;
     let wal_desc = config
         .wal_dir
         .as_ref()
@@ -110,10 +116,15 @@ fn main() -> ExitCode {
         Err(e) => fail(&format!("cannot start daemon on {addr}: {e}")),
     };
     eprintln!(
-        "seqd: listening on {} ({} shards, batch {}, store {}, wal {})",
+        "seqd: listening on {} ({} shards, batch {}, {}, store {}, wal {})",
         handle.addr(),
         shards,
         batch_size,
+        if miners == 0 {
+            "inline mining".to_string()
+        } else {
+            format!("{miners} miners")
+        },
         store_path.as_deref().unwrap_or("in-memory"),
         wal_desc,
     );

@@ -48,6 +48,7 @@ pub mod eventloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod miner;
 pub mod poll;
 pub mod protocol;
 pub mod queue;

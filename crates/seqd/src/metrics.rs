@@ -88,6 +88,34 @@ pub mod stages {
         )
     }
 
+    /// Time a mining job waits in the miner's queue before a mining thread
+    /// picks it up (coalesced batches keep their oldest enqueue stamp).
+    pub fn mine_queue_wait() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_mine_queue_wait_seconds",
+            "Time a mining job waits in the miner queue before pickup"
+        )
+    }
+
+    /// Time for one mining job's compute-and-commit core (scan, parse,
+    /// analyse, persist) — publishing and WAL release are separate stages.
+    pub fn mine() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_mine_seconds",
+            "Time for one mining job's plan and commit phases"
+        )
+    }
+
+    /// Time a shard worker spends paused handing a job to the miner — the
+    /// whole ingest pause attributable to a re-mine. Sub-millisecond when
+    /// the miner queue has room; grows only at the backpressure cap.
+    pub fn mine_stall() -> &'static Arc<Histogram> {
+        obs::histogram!(
+            "seqd_mine_stall_seconds",
+            "Ingest-worker pause per mining handoff (the re-mine stall)"
+        )
+    }
+
     /// Time to append one record to the ingest WAL.
     pub fn wal_append() -> &'static Arc<Histogram> {
         obs::histogram!(
@@ -159,6 +187,17 @@ pub mod stages {
         queue_wait();
         match_record();
         flush();
+        mine_queue_wait();
+        mine();
+        mine_stall();
+        obs::registry().histogram(
+            "seqd_mine_publish_seconds",
+            "Time to apply a mining job's insertions and swap the published sets",
+        );
+        obs::registry().histogram(
+            "seqd_mine_wal_release_seconds",
+            "Time to release a mined batch's records from the ingest WAL",
+        );
         wal_append();
         wal_fsync();
         wal_replay();
@@ -226,6 +265,16 @@ pub struct Ops {
     pub replayed: AtomicU64,
     /// Pattern-set publications (one per service per re-mine).
     pub swaps: AtomicU64,
+    /// Mining jobs handed to the miner (queued or run inline; coalesced
+    /// submissions merge into an already-queued job and are *not* counted
+    /// here — `jobs` is the number of mining runs the executor will perform).
+    pub mine_jobs: AtomicU64,
+    /// Mining submissions that merged into a job already queued for the
+    /// same shard instead of queueing a stale re-mine behind it.
+    pub mine_coalesced: AtomicU64,
+    /// Residue records a shard accumulated past its batch size because the
+    /// mining queue was full (backpressure made visible, never a drop).
+    pub mine_overflow: AtomicU64,
     /// Re-mining runs (residue flushes through the analyser).
     pub remines: AtomicU64,
     /// Total nanoseconds spent re-mining.
@@ -269,6 +318,9 @@ impl Ops {
             dropped: self.dropped.load(Relaxed),
             replayed: self.replayed.load(Relaxed),
             swaps: self.swaps.load(Relaxed),
+            mine_jobs: self.mine_jobs.load(Relaxed),
+            mine_coalesced: self.mine_coalesced.load(Relaxed),
+            mine_overflow: self.mine_overflow.load(Relaxed),
             remines: self.remines.load(Relaxed),
             remine_ns_total: self.remine_ns_total.load(Relaxed),
             remine_ns_last: self.remine_ns_last.load(Relaxed),
@@ -295,6 +347,12 @@ pub struct OpsSnapshot {
     pub replayed: u64,
     /// See [`Ops::swaps`].
     pub swaps: u64,
+    /// See [`Ops::mine_jobs`].
+    pub mine_jobs: u64,
+    /// See [`Ops::mine_coalesced`].
+    pub mine_coalesced: u64,
+    /// See [`Ops::mine_overflow`].
+    pub mine_overflow: u64,
     /// See [`Ops::remines`].
     pub remines: u64,
     /// See [`Ops::remine_ns_total`].
@@ -361,6 +419,21 @@ impl OpsSnapshot {
                 "seqd_pattern_swaps_total",
                 "Pattern-set publications",
                 self.swaps,
+            ),
+            (
+                "seqd_mine_jobs_total",
+                "Mining jobs accepted by the background miner",
+                self.mine_jobs,
+            ),
+            (
+                "seqd_mine_coalesced_total",
+                "Mining submissions merged into an already-pending job",
+                self.mine_coalesced,
+            ),
+            (
+                "seqd_mine_overflow_total",
+                "Residue records held past the batch size while the mining queue was full",
+                self.mine_overflow,
             ),
             (
                 "seqd_remine_runs_total",
@@ -434,6 +507,9 @@ mod tests {
             "seqd_dropped_total 0",
             "seqd_replayed_total 0",
             "seqd_pattern_swaps_total 0",
+            "seqd_mine_jobs_total 0",
+            "seqd_mine_coalesced_total 0",
+            "seqd_mine_overflow_total 0",
             "seqd_remine_runs_total 1",
             "seqd_remine_seconds_total 0.005",
             "seqd_remine_seconds_last 0.005",
@@ -473,6 +549,11 @@ mod tests {
             "seqd_queue_wait_seconds",
             "seqd_match_seconds",
             "seqd_flush_seconds",
+            "seqd_mine_queue_wait_seconds",
+            "seqd_mine_seconds",
+            "seqd_mine_stall_seconds",
+            "seqd_mine_publish_seconds",
+            "seqd_mine_wal_release_seconds",
             "seqd_wal_append_seconds",
             "seqd_wal_fsync_seconds",
             "seqd_wal_replay_seconds",

@@ -148,6 +148,24 @@ impl<T> BoundedQueue<T> {
         accepted
     }
 
+    /// Pop up to `max` queued items out of a locked state (which must be
+    /// non-empty), recording queue-wait latency, and wake one blocked pusher.
+    fn drain_locked(&self, mut st: std::sync::MutexGuard<'_, State<T>>, max: usize) -> Vec<T> {
+        let n = st.items.len().min(max.max(1));
+        let mut out = Vec::with_capacity(n);
+        let popped_at = Instant::now();
+        for _ in 0..n {
+            let (pushed_at, item) = st.items.pop_front().expect("n <= len");
+            if let Some(hist) = &self.wait_hist {
+                hist.record(popped_at.saturating_duration_since(pushed_at));
+            }
+            out.push(item);
+        }
+        drop(st);
+        self.not_full.notify_all();
+        out
+    }
+
     /// Dequeue up to `max` items under one lock acquisition, blocking up to
     /// `timeout` for the first item. `Ok(empty)` on timeout; `Err(())` once
     /// the queue is closed *and* drained.
@@ -156,19 +174,7 @@ impl<T> BoundedQueue<T> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if !st.items.is_empty() {
-                let n = st.items.len().min(max.max(1));
-                let mut out = Vec::with_capacity(n);
-                let popped_at = Instant::now();
-                for _ in 0..n {
-                    let (pushed_at, item) = st.items.pop_front().expect("n <= len");
-                    if let Some(hist) = &self.wait_hist {
-                        hist.record(popped_at.saturating_duration_since(pushed_at));
-                    }
-                    out.push(item);
-                }
-                drop(st);
-                self.not_full.notify_all();
-                return Ok(out);
+                return Ok(self.drain_locked(st, max));
             }
             if st.closed {
                 return Err(());
@@ -182,6 +188,24 @@ impl<T> BoundedQueue<T> {
                 .wait_timeout(st, deadline - now)
                 .expect("queue lock");
             st = guard;
+        }
+    }
+
+    /// Dequeue up to `max` items, parking until something arrives — no
+    /// periodic re-check tick. [`BoundedQueue::close`] notifies `not_empty`,
+    /// so a drain wakes every blocked consumer immediately instead of
+    /// costing up to one tick of idle latency per shard. `Err(())` once the
+    /// queue is closed *and* drained.
+    pub fn pop_batch_blocking(&self, max: usize) -> Result<Vec<T>, ()> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if !st.items.is_empty() {
+                return Ok(self.drain_locked(st, max));
+            }
+            if st.closed {
+                return Err(());
+            }
+            st = self.not_empty.wait(st).expect("queue lock");
         }
     }
 
@@ -366,6 +390,33 @@ mod tests {
         assert_eq!(q.push_batch(vec![1u32, 2, 3], TICK), 3);
         assert_eq!(q.pop_batch(8, TICK).unwrap().len(), 3);
         assert_eq!(hist.snapshot().count, 3);
+    }
+
+    /// The drain-latency satellite: a consumer parked in the untimed pop is
+    /// woken by `close()` itself, not by a periodic re-check tick.
+    #[test]
+    fn blocking_pop_wakes_promptly_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            let first = q2.pop_batch_blocking(8);
+            let second = q2.pop_batch_blocking(8);
+            (first, second, Instant::now())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_batch(vec![7], TICK);
+        std::thread::sleep(Duration::from_millis(20));
+        let closed_at = Instant::now();
+        q.close();
+        let (first, second, woke) = t.join().unwrap();
+        assert_eq!(first.unwrap(), vec![7]);
+        assert_eq!(second, Err(()));
+        // The close-side wake must beat the old 50 ms POP_TICK by a mile.
+        assert!(
+            woke.saturating_duration_since(closed_at) < Duration::from_millis(40),
+            "consumer waited {:?} past close",
+            woke.saturating_duration_since(closed_at)
+        );
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //!              ┌────────────────────────────── seqd ───────────────────────────────┐
 //!   NDJSON ──▶ │ acceptor ─▶ router ─▶ [bounded queue]×N ─▶ shard workers          │
 //!   HTTP   ──▶ │    │          │ WAL                         │  match via Arc set  │
-//!              │    └─▶ control plane (/healthz /stats        │  residue ─▶ re-mine │
-//!              │         /metrics /patterns /shutdown)        └─▶ publish swap ──┐  │
-//!              │                                   PatternBoard ◀───────────────┘  │
-//!              │                                   PatternStore (shared, Mutex)    │
+//!              │    └─▶ control plane (/healthz /stats        │  residue ──▶ miner  │
+//!              │         /metrics /patterns /shutdown)        ▼   pool ─▶ publish ─┐ │
+//!              │                                   PatternBoard ◀────────────────┘ │
+//!              │                                   MiningEngine (split locks)      │
 //!              └───────────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -23,20 +23,25 @@
 //!
 //! With [`SeqdConfig::wal_dir`] set, accepted records are written to a
 //! per-shard ingest WAL and fsynced before the connection receipt, then
-//! released after their residue flush; on start, leftover WAL records are
-//! replayed into the shard workers (see `DESIGN.md` §8 for the exact
-//! guarantees).
+//! released by the miner once the records' fate is committed; on start,
+//! leftover WAL records are replayed into the shard workers (see
+//! `DESIGN.md` §8 for the exact guarantees).
+//!
+//! Re-mining runs on a background [`Miner`] pool ([`SeqdConfig::miners`]),
+//! so a worker's only pause per re-mine is the job handoff; `--miners 0`
+//! restores the old inline behaviour (see `DESIGN.md` §11).
 //!
 //! `POST /shutdown` (or [`SeqdHandle::initiate_shutdown`]) starts the drain:
 //! the acceptor stops, queues close (late pushes reject), each worker drains
-//! its queue and flushes its residue through one final analysis, and
-//! [`SeqdHandle::join`] waits out in-flight connections (bounded by the
-//! deadline) and checkpoints the store before returning the final counter
-//! snapshot.
+//! its queue and hands its residue to the miner in one final blocking
+//! submission, the miner drains its pending jobs, and [`SeqdHandle::join`]
+//! waits out in-flight connections (bounded by the deadline) and
+//! checkpoints the store before returning the final counter snapshot.
 
 use crate::eventloop::{self, EventLoop, EventLoopDeps};
 use crate::http::{respond, Request};
 use crate::metrics::{Ops, OpsSnapshot};
+use crate::miner::{Miner, MinerDeps, MiningEngine};
 use crate::protocol::{read_line_capped, serve_ingest, LineOutcome};
 use crate::queue::BoundedQueue;
 use crate::shard::{Router, ShardWorker};
@@ -44,13 +49,14 @@ use crate::swap::PatternBoard;
 use crate::wal::IngestWal;
 use jsonlite::Value;
 use patterndb::PatternStore;
-use sequence_rtg::{RtgConfig, SequenceRtg};
+use sequence_core::Scanner;
+use sequence_rtg::RtgConfig;
 use std::io::{self, BufReader, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -90,11 +96,15 @@ pub struct SeqdConfig {
     /// Fsync the WAL after this many appends (the receipt path always
     /// syncs, so this only bounds work lost to an *OS* crash mid-stream).
     pub wal_sync_every: usize,
-    /// Extra flush attempts after the first store failure before a residue
-    /// batch is abandoned (counted in `dropped`).
+    /// Extra mining-commit attempts after the first store failure before a
+    /// residue batch is abandoned (counted in `dropped`).
     pub flush_retries: u32,
-    /// Backoff before the first flush retry; doubles per attempt.
+    /// Backoff before the first commit retry; doubles per attempt.
     pub flush_backoff: Duration,
+    /// Background mining threads. `0` runs every mining job inline on the
+    /// submitting shard worker (the pre-pipeline behaviour); the default is
+    /// a quarter of the cores, at least one.
+    pub miners: usize,
     /// Ingest wire path (see [`WireMode`]).
     pub wire: WireMode,
     /// Event-loop poller threads; `0` means auto (one per core, capped).
@@ -119,6 +129,7 @@ impl Default for SeqdConfig {
             wal_sync_every: 256,
             flush_retries: 3,
             flush_backoff: Duration::from_millis(50),
+            miners: default_miners(),
             wire: WireMode::EventLoop,
             pollers: 0,
             rtg: RtgConfig {
@@ -130,10 +141,19 @@ impl Default for SeqdConfig {
     }
 }
 
+/// The default miner-pool size: mining is bursty and each job is already
+/// internally cheap next to ingest, so a quarter of the cores is plenty.
+pub fn default_miners() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| (n.get() / 4).max(1))
+        .unwrap_or(1)
+}
+
 struct Shared {
     ops: Arc<Ops>,
     board: Arc<PatternBoard>,
-    engine: Arc<Mutex<SequenceRtg>>,
+    engine: Arc<MiningEngine>,
+    miner: Arc<Miner>,
     router: Arc<Router>,
     residues: Vec<Arc<AtomicUsize>>,
     wal: Option<Arc<IngestWal>>,
@@ -179,11 +199,11 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     // (and the golden metric-name diff in ci.sh) must not depend on which
     // hot paths have seen traffic.
     crate::metrics::stages::preregister();
-    let engine = SequenceRtg::new(store, config.rtg)
+    let (engine, seed_sets) = MiningEngine::new(store, config.rtg)
         .map_err(|e| io::Error::other(format!("pattern store load failed: {e}")))?;
     let board = Arc::new(PatternBoard::new());
-    board.seed(engine.pattern_sets().clone());
-    let engine = Arc::new(Mutex::new(engine));
+    board.seed(seed_sets);
+    let engine = Arc::new(engine);
     let ops = Arc::new(Ops::new());
 
     let shards = config.shards.max(1);
@@ -208,6 +228,27 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     );
     let residues: Vec<_> = (0..shards).map(|_| Arc::new(AtomicUsize::new(0))).collect();
 
+    // The mining executor: a background pool by default, inline with
+    // `--miners 0`. The queue is bounded by residue records — several
+    // batches of headroom per shard, so a miner that falls one job behind
+    // a bursty shard absorbs the backlog without tripping the workers'
+    // blocking backpressure path (which would put mining right back on
+    // the ingest hot path it was moved off of).
+    let batch_size = config.batch_size.max(1);
+    let deps = MinerDeps {
+        engine: Arc::clone(&engine),
+        board: Arc::clone(&board),
+        ops: Arc::clone(&ops),
+        wal: wal.clone(),
+        retries: config.flush_retries,
+        backoff: config.flush_backoff,
+    };
+    let miner = Arc::new(if config.miners == 0 {
+        Miner::inline(deps)
+    } else {
+        Miner::background(deps, config.miners, batch_size * shards * 8)
+    });
+
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
 
@@ -215,6 +256,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         ops: Arc::clone(&ops),
         board: Arc::clone(&board),
         engine: Arc::clone(&engine),
+        miner: Arc::clone(&miner),
         router: Arc::clone(&router),
         residues: residues.clone(),
         wal: wal.clone(),
@@ -232,15 +274,16 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
             let worker = ShardWorker {
                 shard_id,
                 queue: Arc::clone(&queues[shard_id]),
-                engine: Arc::clone(&engine),
+                miner: Arc::clone(&miner),
                 board: Arc::clone(&board),
                 ops: Arc::clone(&ops),
-                batch_size: config.batch_size.max(1),
+                batch_size,
+                // Past eight unsent batches the worker blocks for mining-
+                // queue space rather than accumulate unboundedly.
+                residue_cap: batch_size.saturating_mul(8),
                 residue_len: Arc::clone(&residues[shard_id]),
-                wal: wal.clone(),
                 replay: std::mem::take(&mut replays[shard_id]),
-                flush_retries: config.flush_retries,
-                flush_backoff: config.flush_backoff,
+                scanner: Scanner::with_options(config.rtg.scanner),
             };
             std::thread::Builder::new()
                 .name(format!("seqd-shard-{shard_id}"))
@@ -402,6 +445,11 @@ impl SeqdHandle {
             w.join()
                 .map_err(|_| io::Error::other("shard worker panicked"))?;
         }
+        // Workers are done submitting; let the miner drain its pending jobs
+        // (a worker's final blocking submit has already been accepted, so
+        // nothing can be lost between the two joins).
+        self.shared.miner.close();
+        self.shared.miner.join();
         // Give in-flight connection threads one deadline's worth of time to
         // notice the drain (their routes now reject) and receipt out.
         let grace = self.shared.io_timeout.max(Duration::from_secs(1)) + Duration::from_secs(1);
@@ -409,13 +457,13 @@ impl SeqdHandle {
         while self.shared.connections.load(Ordering::SeqCst) > 0 && waited.elapsed() < grace {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let mut engine = self
+        let mut store = self
             .shared
             .engine
+            .store()
             .lock()
-            .map_err(|_| io::Error::other("engine lock poisoned"))?;
-        engine
-            .store_mut()
+            .map_err(|_| io::Error::other("store lock poisoned"))?;
+        store
             .checkpoint()
             .map_err(|e| io::Error::other(format!("store checkpoint failed: {e}")))?;
         Ok(self.shared.ops.snapshot())
@@ -550,6 +598,12 @@ fn serve_control<R: io::BufRead, W: io::Write>(
             }
             push_gauge(
                 &mut body,
+                "seqd_mine_queue_depth",
+                "Mining jobs waiting in the background miner queue",
+                shared.miner.queue_depth() as f64,
+            );
+            push_gauge(
+                &mut body,
                 "seqd_uptime_seconds",
                 "Seconds since daemon start",
                 shared.started.elapsed().as_secs_f64(),
@@ -597,13 +651,14 @@ fn stats_json(shared: &Shared) -> String {
         .iter()
         .map(|r| r.load(Ordering::Relaxed))
         .sum();
-    // The store's own pattern count needs the engine lock; a re-mine may
-    // hold it for a while, so report `null` rather than stall the endpoint.
+    // The store's own pattern count needs the store lock; a commit may
+    // hold it briefly, so report `null` rather than stall the endpoint.
     let store_patterns = shared
         .engine
+        .store()
         .try_lock()
         .ok()
-        .and_then(|mut e| e.store_mut().pattern_count().ok());
+        .and_then(|mut s| s.pattern_count().ok());
     let wal_pending: Option<usize> = shared.wal.as_ref().map(|w| w.depths().iter().sum());
     let obj = jsonlite::object::<&str, Value>([
         (
@@ -633,6 +688,7 @@ fn stats_json(shared: &Shared) -> String {
             "remine_seconds_total",
             (s.remine_ns_total as f64 / 1e9).into(),
         ),
+        ("mine_backlog", (shared.miner.backlog() as i64).into()),
         (
             "queue_depths",
             Value::Array(depths.iter().map(|&d| Value::from(d as i64)).collect()),
@@ -691,6 +747,11 @@ fn latency_json() -> Value {
             quantiles_value(r.snapshot("rtg_analyze_seconds")),
         ),
         ("flush", quantiles_value(r.snapshot("seqd_flush_seconds"))),
+        ("mine", quantiles_value(r.snapshot("seqd_mine_seconds"))),
+        (
+            "mine_stall",
+            quantiles_value(r.snapshot("seqd_mine_stall_seconds")),
+        ),
         (
             "wal_fsync",
             quantiles_value(r.snapshot("seqd_wal_fsync_seconds")),
@@ -754,6 +815,7 @@ fn patterns_json(shared: &Shared, service: Option<&str>) -> String {
 mod tests {
     use super::*;
     use crate::loadgen;
+    use sequence_rtg::SequenceRtg;
     use std::io::{Read, Write};
 
     fn http(addr: SocketAddr, request: &str) -> (u16, String) {

@@ -10,30 +10,33 @@
 //!    blocked by re-mining),
 //! 2. accumulates unmatched records as *residue* and per-pattern match
 //!    counts,
-//! 3. when the residue reaches the configured batch size (or at drain),
-//!    takes the shared engine lock, records the match counts in one bulk
-//!    transaction, re-runs `analyze_by_service` over the residue, and
-//!    publishes the services' freshly compiled sets back to the board.
+//! 3. when the residue reaches the configured batch size — or one idle
+//!    tick passes with a partial batch in hand, or the drain begins —
+//!    hands a [`MineJob`] to the background [`Miner`] and immediately
+//!    resumes draining — re-mining, publishing, retries and WAL release
+//!    all happen off the ingest hot path (see [`crate::miner`]).
 //!
-//! A failed flush is retried with exponential backoff up to the worker's
-//! bounded budget; only then is the batch abandoned — counted in
-//! `Ops::dropped`, never silently. After a flush (successful or abandoned)
-//! the worker releases the processed sequences from the ingest WAL, so the
-//! log shrinks to exactly the records whose fate is still in memory.
+//! When the mining queue is full the worker keeps its residue and keeps
+//! draining — counted per record in `mine_overflow`, never dropped — up to
+//! a hard cap (`residue_cap`), where it blocks for queue space: the same
+//! backpressure-not-loss policy as the ingest queues.
 
-use crate::metrics::Ops;
+use crate::metrics::{stages, Ops};
+use crate::miner::{MineJob, Miner};
 use crate::queue::{BoundedQueue, PushError};
 use crate::swap::PatternBoard;
 use crate::wal::{Accepted, IngestWal};
 use sequence_core::{MatchScratch, Scanner, TokenizedMessage};
-use sequence_rtg::{LogRecord, SequenceRtg};
-use std::collections::{BTreeSet, HashMap};
+use sequence_rtg::LogRecord;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
-/// How long a worker sleeps in `pop_timeout` before re-checking shutdown.
-const POP_TICK: Duration = Duration::from_millis(50);
+/// How long a worker holding a partial batch waits for more input before
+/// handing what it has to the miner. Only in force while residue or match
+/// counts are pending — an empty-handed worker parks with no tick at all.
+const IDLE_HANDOFF: Duration = Duration::from_millis(50);
 
 /// Seconds since the Unix epoch — the `now` fed to the pattern store.
 pub fn now_unix() -> u64 {
@@ -170,36 +173,31 @@ pub struct ShardWorker {
     pub shard_id: usize,
     /// This shard's input queue.
     pub queue: Arc<BoundedQueue<Accepted>>,
-    /// The shared mining engine + pattern store.
-    pub engine: Arc<Mutex<SequenceRtg>>,
+    /// The mining executor residue is handed off to.
+    pub miner: Arc<Miner>,
     /// The published pattern sets.
     pub board: Arc<PatternBoard>,
     /// Shared counters.
     pub ops: Arc<Ops>,
-    /// Residue size that triggers a re-mine.
+    /// Residue size that triggers a mining handoff.
     pub batch_size: usize,
+    /// Residue size at which a full mining queue makes the worker *block*
+    /// for space instead of accumulating further (backpressure ceiling).
+    pub residue_cap: usize,
     /// Gauge of this shard's current residue length.
     pub residue_len: Arc<AtomicUsize>,
-    /// The ingest WAL, released as records clear the flush path.
-    pub wal: Option<Arc<IngestWal>>,
     /// Records recovered from the WAL, processed before the live queue.
     pub replay: Vec<Accepted>,
-    /// Extra flush attempts after the first failure before dropping.
-    pub flush_retries: u32,
-    /// Backoff before the first retry; doubles per subsequent attempt.
-    pub flush_backoff: Duration,
+    /// The message tokenizer (built from the engine's scanner options).
+    pub scanner: Scanner,
 }
 
 impl ShardWorker {
-    /// Run until the queue is closed and drained; flushes remaining residue
-    /// through one final analysis before returning. WAL-recovered records
-    /// are processed first (counted `ingested` and `replayed`), preserving
-    /// per-service order ahead of any live traffic.
+    /// Run until the queue is closed and drained; hands remaining residue
+    /// to the miner in one final blocking submission before returning.
+    /// WAL-recovered records are processed first (counted `ingested` and
+    /// `replayed`), preserving per-service order ahead of any live traffic.
     pub fn run(mut self) {
-        let scanner = {
-            let engine = self.engine.lock().expect("engine lock");
-            Scanner::with_options(engine.config().scanner)
-        };
         let mut scratch = MatchScratch::default();
         // Reused token buffer: after the first few records the scan itself
         // allocates nothing (tokens are stored inline up to the cap).
@@ -218,7 +216,6 @@ impl ShardWorker {
             Ops::inc(&self.ops.replayed);
             self.process(
                 accepted,
-                &scanner,
                 &mut scratch,
                 &mut tokens,
                 &mut svc_hists,
@@ -226,20 +223,34 @@ impl ShardWorker {
                 &mut match_counts,
                 &mut max_seq,
             );
-            if residue.len() >= self.batch_size {
-                self.flush(&mut residue, &mut match_counts, max_seq);
-            }
+            self.maybe_handoff(&mut residue, &mut match_counts, max_seq);
         }
 
         // Pop in batches: one queue lock per burst instead of per record.
+        // Empty-handed, the worker parks on the queue's condvar — no
+        // periodic re-check tick; a close wakes it immediately. With a
+        // partial batch in hand it switches to a timed pop, so one quiet
+        // tick hands the residue (and pending match counts, releasing
+        // their WAL range) to the miner instead of sitting on them until
+        // the next burst.
         let pop_cap = self.batch_size.clamp(1, 512);
         loop {
-            match self.queue.pop_batch(pop_cap, POP_TICK) {
+            let popped = if residue.is_empty() && match_counts.is_empty() {
+                self.queue.pop_batch_blocking(pop_cap)
+            } else {
+                match self.queue.pop_batch(pop_cap, IDLE_HANDOFF) {
+                    Ok(batch) if batch.is_empty() => {
+                        self.handoff(&mut residue, &mut match_counts, max_seq, false);
+                        continue;
+                    }
+                    other => other,
+                }
+            };
+            match popped {
                 Ok(batch) => {
                     for accepted in batch {
                         self.process(
                             accepted,
-                            &scanner,
                             &mut scratch,
                             &mut tokens,
                             &mut svc_hists,
@@ -247,14 +258,14 @@ impl ShardWorker {
                             &mut match_counts,
                             &mut max_seq,
                         );
-                        if residue.len() >= self.batch_size {
-                            self.flush(&mut residue, &mut match_counts, max_seq);
-                        }
+                        self.maybe_handoff(&mut residue, &mut match_counts, max_seq);
                     }
                 }
                 Err(()) => {
-                    // Closed and drained: one final flush, then exit.
-                    self.flush(&mut residue, &mut match_counts, max_seq);
+                    // Closed and drained: hand over whatever is left. The
+                    // blocking submit cannot lose it — a closed miner runs
+                    // the job right here on this thread.
+                    self.handoff(&mut residue, &mut match_counts, max_seq, true);
                     return;
                 }
             }
@@ -266,7 +277,6 @@ impl ShardWorker {
     fn process(
         &self,
         accepted: Accepted,
-        scanner: &Scanner,
         scratch: &mut MatchScratch,
         tokens: &mut TokenizedMessage,
         svc_hists: &mut HashMap<String, Arc<obs::Histogram>>,
@@ -280,7 +290,7 @@ impl ShardWorker {
         // Parse-only scan into the worker's reused token buffer: the raw
         // line is only needed again if the record joins the residue (it
         // keeps the LogRecord).
-        scanner.scan_into(&record.message, tokens);
+        self.scanner.scan_into(&record.message, tokens);
         let outcome = self
             .board
             .load(&record.service)
@@ -288,11 +298,11 @@ impl ShardWorker {
         // Attribute construction is deferred behind the slow-ring's atomic
         // gate, so the per-record cost stays two atomic adds per histogram.
         let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        crate::metrics::stages::match_record().record_ns(ns);
+        stages::match_record().record_ns(ns);
         match svc_hists.get(record.service.as_str()) {
             Some(hist) => hist.record_ns(ns),
             None => {
-                let hist = crate::metrics::stages::service_match(&record.service);
+                let hist = stages::service_match(&record.service);
                 hist.record_ns(ns);
                 svc_hists.insert(record.service.clone(), hist);
             }
@@ -322,116 +332,61 @@ impl ShardWorker {
         }
     }
 
-    /// Record accumulated match counts (one bulk transaction), re-mine the
-    /// residue, and publish the affected services' new compiled sets.
-    /// Store errors are retried with exponential backoff up to the bounded
-    /// budget; an exhausted budget abandons the batch, counted in
-    /// `Ops::dropped`. Either way the WAL is then released up to
-    /// `release_up_to` — the records' fate is decided.
-    fn flush(
+    /// Hand off when the residue has reached the batch size. Below the
+    /// backpressure ceiling a full mining queue just means "keep
+    /// accumulating"; at the ceiling the worker blocks for space.
+    fn maybe_handoff(
         &self,
         residue: &mut Vec<LogRecord>,
         match_counts: &mut HashMap<String, u64>,
         release_up_to: u64,
     ) {
+        if residue.len() >= self.batch_size {
+            let block = residue.len() >= self.residue_cap;
+            self.handoff(residue, match_counts, release_up_to, block);
+        }
+    }
+
+    /// Hand the accumulated residue and match counts to the miner as one
+    /// [`MineJob`]. Non-blocking submissions that find the mining queue
+    /// full give everything back untouched (counted in `mine_overflow`);
+    /// blocking ones always succeed — a closed miner runs the job inline.
+    /// The miner records the worker's pause in `seqd_mine_stall_seconds`.
+    fn handoff(
+        &self,
+        residue: &mut Vec<LogRecord>,
+        match_counts: &mut HashMap<String, u64>,
+        release_up_to: u64,
+        block: bool,
+    ) {
         if residue.is_empty() && match_counts.is_empty() {
             return;
         }
-        let now = now_unix();
-        let started = Instant::now();
-        let batch = std::mem::take(residue);
-        self.residue_len.store(0, Ordering::Relaxed);
-        let counts: Vec<(String, u64)> = {
-            let mut v: Vec<_> = std::mem::take(match_counts).into_iter().collect();
-            v.sort_unstable(); // deterministic store write order
-            v
+        let job = MineJob {
+            shard_id: self.shard_id,
+            batch: std::mem::take(residue),
+            counts: std::mem::take(match_counts),
+            release_up_to,
+            enqueued: Instant::now(),
         };
-        let services: BTreeSet<&str> = batch.iter().map(|r| r.service.as_str()).collect();
-
-        // Records into `seqd_flush_seconds` on drop; a slow flush lands in
-        // `/debug/slow` with enough attributes to reconstruct the batch.
-        let mut flush_span = obs::span!("seqd.flush");
-        flush_span.attr_u64("shard", self.shard_id as u64);
-        flush_span.attr_u64("batch", batch.len() as u64);
-        flush_span.attr_u64("match_counts", counts.len() as u64);
-        flush_span.attr_u64("services", services.len() as u64);
-        if let Some(first) = services.iter().next() {
-            flush_span.attr_str("service", first);
-        }
-
-        let mut counts_done = counts.is_empty();
-        let mut mined = batch.is_empty();
-        let mut attempt: u32 = 0;
-        loop {
-            {
-                // The lock is scoped to one attempt: backoff sleeps must not
-                // starve the other shards' flushes.
-                let mut engine = self.engine.lock().expect("engine lock");
-                if !counts_done {
-                    match engine.store_mut().record_matches_bulk(&counts, now) {
-                        Ok(()) => counts_done = true,
-                        Err(e) => eprintln!(
-                            "seqd[shard {}]: recording match stats failed \
-                             (attempt {attempt}): {e}",
-                            self.shard_id
-                        ),
-                    }
-                }
-                // Stats before mining keeps the store write order of the
-                // original single-attempt flush; `counts_done` guards
-                // against double-counting across retries.
-                if counts_done && !mined {
-                    match engine.analyze_by_service(&batch, now) {
-                        Ok(_report) => {
-                            for service in &services {
-                                let set = engine.pattern_set(service).cloned().unwrap_or_default();
-                                self.board.publish(service, set);
-                                Ops::inc(&self.ops.swaps);
-                            }
-                            self.ops.record_remine(started.elapsed());
-                            mined = true;
-                        }
-                        Err(e) => eprintln!(
-                            "seqd[shard {}]: re-mining failed (attempt {attempt}): {e}",
-                            self.shard_id
-                        ),
-                    }
+        let handed = if block {
+            self.miner.submit_blocking(job);
+            true
+        } else {
+            match self.miner.try_submit(job) {
+                Ok(()) => true,
+                Err(job) => {
+                    // Queue full: take the records back and keep draining.
+                    // One tick per record accumulated past the batch size.
+                    *residue = job.batch;
+                    *match_counts = job.counts;
+                    Ops::inc(&self.ops.mine_overflow);
+                    false
                 }
             }
-            if counts_done && mined {
-                break;
-            }
-            if attempt >= self.flush_retries {
-                if !mined {
-                    // Abandon the batch: each transaction rolled back, so
-                    // nothing partial is in the store. Count the loss.
-                    Ops::add(&self.ops.dropped, batch.len() as u64);
-                    eprintln!(
-                        "seqd[shard {}]: dropping {} residue records after {} attempts",
-                        self.shard_id,
-                        batch.len(),
-                        attempt + 1
-                    );
-                }
-                if !counts_done {
-                    eprintln!(
-                        "seqd[shard {}]: abandoning match statistics for {} patterns",
-                        self.shard_id,
-                        counts.len()
-                    );
-                }
-                break;
-            }
-            std::thread::sleep(self.flush_backoff * 2u32.saturating_pow(attempt));
-            attempt += 1;
-        }
-
-        if let Some(wal) = &self.wal {
-            if release_up_to > 0 {
-                if let Err(e) = wal.release(self.shard_id, release_up_to) {
-                    eprintln!("seqd[shard {}]: wal release failed: {e}", self.shard_id);
-                }
-            }
+        };
+        if handed {
+            self.residue_len.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -439,30 +394,45 @@ impl ShardWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::miner::{MinerDeps, MiningEngine};
     use sequence_rtg::RtgConfig;
 
     fn record(service: &str, message: &str) -> LogRecord {
         LogRecord::new(service, message)
     }
 
+    fn test_deps(
+        engine: &Arc<MiningEngine>,
+        board: &Arc<PatternBoard>,
+        ops: &Arc<Ops>,
+    ) -> MinerDeps {
+        MinerDeps {
+            engine: Arc::clone(engine),
+            board: Arc::clone(board),
+            ops: Arc::clone(ops),
+            wal: None,
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
     fn test_worker(
         queue: &Arc<BoundedQueue<Accepted>>,
-        engine: &Arc<Mutex<SequenceRtg>>,
+        miner: Arc<Miner>,
         board: &Arc<PatternBoard>,
         ops: &Arc<Ops>,
     ) -> ShardWorker {
         ShardWorker {
             shard_id: 0,
             queue: Arc::clone(queue),
-            engine: Arc::clone(engine),
+            miner,
             board: Arc::clone(board),
             ops: Arc::clone(ops),
-            batch_size: 1_000, // only the drain flush fires
+            batch_size: 1_000, // only the drain handoff fires
+            residue_cap: 8_000,
             residue_len: Arc::new(AtomicUsize::new(0)),
-            wal: None,
             replay: Vec::new(),
-            flush_retries: 0,
-            flush_backoff: Duration::from_millis(1),
+            scanner: Scanner::with_options(RtgConfig::default().scanner),
         }
     }
 
@@ -537,8 +507,9 @@ mod tests {
         let queue = Arc::new(BoundedQueue::new(64));
         let ops = Arc::new(Ops::new());
         let board = Arc::new(PatternBoard::new());
-        let engine = Arc::new(Mutex::new(SequenceRtg::in_memory(RtgConfig::default())));
-        let worker = test_worker(&queue, &engine, &board, &ops);
+        let engine = Arc::new(MiningEngine::in_memory(RtgConfig::default()));
+        let miner = Arc::new(Miner::inline(test_deps(&engine, &board, &ops)));
+        let worker = test_worker(&queue, miner, &board, &ops);
         for user in ["alice", "bob", "carol"] {
             queue
                 .push_timeout(
@@ -559,32 +530,46 @@ mod tests {
         let msg = Scanner::new().scan("session opened for user mallory");
         assert!(set.match_message(&msg).is_some());
         // Store got the discovery too.
-        let mut engine = engine.lock().unwrap();
-        assert_eq!(engine.store_mut().pattern_count().unwrap(), 1);
+        let mut store = engine.store().lock().unwrap();
+        assert_eq!(store.pattern_count().unwrap(), 1);
     }
 
     /// Matched records bump the store's statistics via the bulk path.
     #[test]
     fn worker_records_match_stats_in_bulk() {
-        let engine = Arc::new(Mutex::new(SequenceRtg::in_memory(RtgConfig::default())));
+        let engine = Arc::new(MiningEngine::in_memory(RtgConfig::default()));
         let board = Arc::new(PatternBoard::new());
-        // Pre-mine one pattern and publish it, as a prior flush would.
+        // Pre-mine one pattern and publish it, as a prior job would (its
+        // own throwaway counters: the assertions below watch the live run).
         let pattern_id = {
-            let mut engine = engine.lock().unwrap();
+            let seed_ops = Arc::new(Ops::new());
+            let seeder = Miner::inline(test_deps(&engine, &board, &seed_ops));
             let batch: Vec<LogRecord> = ["alice", "bob", "carol"]
                 .iter()
                 .map(|u| record("sshd", &format!("session opened for user {u}")))
                 .collect();
-            engine.analyze_by_service(&batch, 1).unwrap();
-            let set = engine.pattern_set("sshd").cloned().unwrap();
-            board.publish("sshd", set);
-            engine.store_mut().patterns(Some("sshd")).unwrap()[0]
+            seeder
+                .try_submit(MineJob {
+                    shard_id: 0,
+                    batch,
+                    counts: HashMap::new(),
+                    release_up_to: 0,
+                    enqueued: Instant::now(),
+                })
+                .unwrap();
+            engine
+                .store()
+                .lock()
+                .unwrap()
+                .patterns(Some("sshd"))
+                .unwrap()[0]
                 .id
                 .clone()
         };
         let queue = Arc::new(BoundedQueue::new(64));
         let ops = Arc::new(Ops::new());
-        let worker = test_worker(&queue, &engine, &board, &ops);
+        let miner = Arc::new(Miner::inline(test_deps(&engine, &board, &ops)));
+        let worker = test_worker(&queue, miner, &board, &ops);
         for user in ["dave", "erin"] {
             queue
                 .push_timeout(
@@ -598,8 +583,8 @@ mod tests {
         let s = ops.snapshot();
         assert_eq!(s.matched, 2);
         assert_eq!(s.unmatched, 0);
-        let mut engine = engine.lock().unwrap();
-        let stored = &engine.store_mut().patterns(Some("sshd")).unwrap()[0];
+        let mut store = engine.store().lock().unwrap();
+        let stored = &store.patterns(Some("sshd")).unwrap()[0];
         assert_eq!(stored.id, pattern_id);
         assert_eq!(stored.count, 3 + 2);
     }
@@ -616,14 +601,15 @@ mod tests {
             gate.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok()
         })));
-        let engine = Arc::new(Mutex::new(
-            SequenceRtg::new(store, RtgConfig::default()).unwrap(),
-        ));
+        let (engine, _seed) = MiningEngine::new(store, RtgConfig::default()).unwrap();
+        let engine = Arc::new(engine);
         let queue = Arc::new(BoundedQueue::new(64));
         let ops = Arc::new(Ops::new());
         let board = Arc::new(PatternBoard::new());
-        let mut worker = test_worker(&queue, &engine, &board, &ops);
-        worker.flush_retries = 4;
+        let mut deps = test_deps(&engine, &board, &ops);
+        deps.retries = 4;
+        let miner = Arc::new(Miner::inline(deps));
+        let worker = test_worker(&queue, miner, &board, &ops);
         for user in ["alice", "bob", "carol"] {
             queue
                 .push_timeout(
@@ -637,8 +623,8 @@ mod tests {
         let s = ops.snapshot();
         assert_eq!(s.dropped, 0, "retries must absorb transient failures");
         assert_eq!(s.remines, 1);
-        let mut engine = engine.lock().unwrap();
-        assert_eq!(engine.store_mut().pattern_count().unwrap(), 1);
+        let mut store = engine.store().lock().unwrap();
+        assert_eq!(store.pattern_count().unwrap(), 1);
     }
 
     /// A permanently failing store exhausts the budget: the batch is
@@ -647,14 +633,15 @@ mod tests {
     fn exhausted_flush_retries_count_dropped_records() {
         let mut store = patterndb::PatternStore::in_memory();
         store.set_fault_hook(Some(Arc::new(|op: &str| op == "begin")));
-        let engine = Arc::new(Mutex::new(
-            SequenceRtg::new(store, RtgConfig::default()).unwrap(),
-        ));
+        let (engine, _seed) = MiningEngine::new(store, RtgConfig::default()).unwrap();
+        let engine = Arc::new(engine);
         let queue = Arc::new(BoundedQueue::new(64));
         let ops = Arc::new(Ops::new());
         let board = Arc::new(PatternBoard::new());
-        let mut worker = test_worker(&queue, &engine, &board, &ops);
-        worker.flush_retries = 2;
+        let mut deps = test_deps(&engine, &board, &ops);
+        deps.retries = 2;
+        let miner = Arc::new(Miner::inline(deps));
+        let worker = test_worker(&queue, miner, &board, &ops);
         // The ingest path counts `ingested`; this test bypasses it.
         Ops::add(&ops.ingested, 3);
         for i in 0..3 {
@@ -682,8 +669,9 @@ mod tests {
         let queue = Arc::new(BoundedQueue::new(64));
         let ops = Arc::new(Ops::new());
         let board = Arc::new(PatternBoard::new());
-        let engine = Arc::new(Mutex::new(SequenceRtg::in_memory(RtgConfig::default())));
-        let mut worker = test_worker(&queue, &engine, &board, &ops);
+        let engine = Arc::new(MiningEngine::in_memory(RtgConfig::default()));
+        let miner = Arc::new(Miner::inline(test_deps(&engine, &board, &ops)));
+        let mut worker = test_worker(&queue, miner, &board, &ops);
         worker.replay = (0..3)
             .map(|i| Accepted {
                 seq: i + 1,

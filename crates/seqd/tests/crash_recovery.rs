@@ -40,18 +40,13 @@ fn pattern_triples(engine: &mut SequenceRtg) -> BTreeSet<(String, String, u64)> 
         .collect()
 }
 
-#[test]
-fn kill_dash_nine_loses_no_receipted_record() {
-    const N: usize = 600;
-    let corpus = corpus(N);
-
-    let dir = std::env::temp_dir().join(format!("seqd-crash-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let store_dir = dir.join("store");
-    let wal_dir = store_dir.join("ingest-wal");
-
-    // --- Phase 1: a real subprocess, WAL on (follows --store), batch size
-    // far above the corpus so nothing flushes before the kill.
+/// Spawn a real `seqd` subprocess on the given store and return it with the
+/// address it announced on stderr.
+fn spawn_seqd(
+    store_dir: &std::path::Path,
+    batch_size: &str,
+    miners: &str,
+) -> (std::process::Child, SocketAddr) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_seqd"))
         .args([
             "--addr",
@@ -61,7 +56,9 @@ fn kill_dash_nine_loses_no_receipted_record() {
             "--shards",
             "2",
             "--batch-size",
-            "100000",
+            batch_size,
+            "--miners",
+            miners,
         ])
         .stderr(Stdio::piped())
         .spawn()
@@ -79,6 +76,22 @@ fn kill_dash_nine_loses_no_receipted_record() {
         }
         found.expect("seqd never announced its address")
     };
+    (child, addr)
+}
+
+#[test]
+fn kill_dash_nine_loses_no_receipted_record() {
+    const N: usize = 600;
+    let corpus = corpus(N);
+
+    let dir = std::env::temp_dir().join(format!("seqd-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let wal_dir = store_dir.join("ingest-wal");
+
+    // --- Phase 1: a real subprocess, WAL on (follows --store), batch size
+    // far above the corpus so nothing flushes before the kill.
+    let (mut child, addr) = spawn_seqd(&store_dir, "100000", "1");
 
     // The receipt is the durability promise: once it says `accepted`, the
     // records are in the fsynced WAL.
@@ -144,6 +157,70 @@ fn kill_dash_nine_loses_no_receipted_record() {
         pattern_triples(&mut recovered),
         pattern_triples(&mut reference),
         "recovered store must equal the crash-free run"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The background-pipeline variant: kill -9 while the miner pool is in full
+/// swing. A tiny batch size keeps jobs flowing through the pool as the
+/// corpus streams in, so the SIGKILL lands with some batches committed and
+/// WAL-released, some committed but unreleased, and some still queued or
+/// mid-commit. At-least-once is the contract here: the restart replays
+/// every unreleased record and mines it again, so pattern *counts* may
+/// exceed a crash-free run — but the stored counts can never sum below the
+/// receipted corpus, and nothing is dropped.
+#[test]
+fn kill_dash_nine_mid_mine_replays_unreleased_records() {
+    const N: usize = 600;
+    let corpus = corpus(N);
+
+    let dir = std::env::temp_dir().join(format!("seqd-crash-midmine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let wal_dir = store_dir.join("ingest-wal");
+
+    // --- Phase 1: small batches, a real miner pool, SIGKILL right after
+    // the receipt — well before the pool can commit and release the tail.
+    let (mut child, addr) = spawn_seqd(&store_dir, "40", "2");
+    let receipt = loadgen::replay_records(addr, &corpus).expect("replay");
+    assert_eq!(receipt.accepted, N as u64, "receipt: {receipt:?}");
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    // --- Phase 2: restart on the same data and drain. Whatever the pool
+    // had not released comes back through the WAL.
+    let config = SeqdConfig {
+        shards: 2,
+        wal_dir: Some(wal_dir),
+        miners: 1,
+        ..SeqdConfig::default()
+    };
+    let store = patterndb::PatternStore::open(&store_dir).expect("reopen store");
+    let handle = start(store, config, "127.0.0.1:0").expect("restart");
+    handle.initiate_shutdown();
+    let finals = handle.join().expect("drain");
+
+    assert!(
+        finals.replayed >= 1,
+        "the kill must land before every WAL range was released: {finals:?}"
+    );
+    assert_eq!(finals.ingested, finals.replayed, "{finals:?}");
+    assert_eq!(finals.dropped, 0, "{finals:?}");
+    assert!(finals.reconciles(), "{finals:?}");
+
+    // Every receipted record is accounted in the store at least once:
+    // mined or matched pre-crash, or replayed and mined post-crash.
+    let mut store = patterndb::PatternStore::open(&store_dir).expect("final open");
+    let counted: u64 = store
+        .patterns(None)
+        .expect("patterns")
+        .iter()
+        .map(|p| p.count)
+        .sum();
+    assert!(
+        counted >= N as u64,
+        "stored counts ({counted}) must cover the {N} receipted records"
     );
 
     std::fs::remove_dir_all(&dir).expect("cleanup");

@@ -12,25 +12,27 @@
 //!    without release (the crash), possibly with a torn final line, then
 //!    reopened under a *different* shard count. The replay must be exactly
 //!    the appended multiset with per-service order preserved.
-//! 3. **Store** — a [`ShardWorker`] flushing through a store whose
-//!    operations fail on a schedule. The worker must reconcile, never drop
-//!    more than it mined-or-abandoned, and drop nothing when no fault
-//!    fired.
+//! 3. **Store** — a [`ShardWorker`] handing residue to a [`Miner`] whose
+//!    store operations fail on a schedule — both the inline miner and a
+//!    background pool. The counters must reconcile, never drop more than
+//!    was mined-or-abandoned, and drop nothing when no fault fired.
 //!
 //! All cases derive from the runner seed (`TESTKIT_PROP_SEED` overrides);
 //! failures shrink and print a `cc` regression line for
 //! `proptest-regressions/fault_injection.txt`.
 
 use seqd::metrics::Ops;
+use seqd::miner::{Miner, MinerDeps, MiningEngine};
 use seqd::protocol::serve_ingest;
 use seqd::queue::BoundedQueue;
 use seqd::shard::{shard_for, Router, ShardWorker};
 use seqd::swap::PatternBoard;
 use seqd::wal::{Accepted, IngestWal};
-use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+use sequence_core::Scanner;
+use sequence_rtg::{LogRecord, RtgConfig};
 use std::io::{BufReader, Cursor};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use testkit::fault::{FailingStore, FaultSchedule, FaultyStream};
 use testkit::prop::{self, Config};
@@ -199,9 +201,102 @@ fn wal_replay_is_exact_across_crash_and_reshard() {
     });
 }
 
-/// Layer 3: the flush path under store faults. The worker must reconcile
-/// and never lose a record silently — `dropped` is exact, and zero when no
-/// fault fired.
+/// Build a worker + miner pair over a fault-hooked store. `pool_threads`
+/// of 0 means the inline miner (`--miners 0`).
+fn faulty_mining_rig(
+    schedule: &Arc<FaultSchedule>,
+    retries: u32,
+    pool_threads: usize,
+) -> Result<
+    (
+        Arc<BoundedQueue<Accepted>>,
+        Arc<Miner>,
+        ShardWorker,
+        Arc<Ops>,
+    ),
+    String,
+> {
+    let failing = FailingStore::new(Arc::clone(schedule));
+    let mut store = patterndb::PatternStore::in_memory();
+    store.set_fault_hook(Some(failing.hook()));
+    let (engine, _seed_sets) =
+        MiningEngine::new(store, RtgConfig::default()).map_err(|e| format!("engine: {e}"))?;
+    let board = Arc::new(PatternBoard::new());
+    let ops = Arc::new(Ops::new());
+    let deps = MinerDeps {
+        engine: Arc::new(engine),
+        board: Arc::clone(&board),
+        ops: Arc::clone(&ops),
+        wal: None,
+        retries,
+        backoff: Duration::from_millis(1),
+    };
+    let miner = Arc::new(if pool_threads == 0 {
+        Miner::inline(deps)
+    } else {
+        Miner::background(deps, pool_threads, 64)
+    });
+    let queue = Arc::new(BoundedQueue::new(64));
+    let worker = ShardWorker {
+        shard_id: 0,
+        queue: Arc::clone(&queue),
+        miner: Arc::clone(&miner),
+        board,
+        ops: Arc::clone(&ops),
+        batch_size: 4, // several handoffs per case
+        residue_cap: 32,
+        residue_len: Arc::new(AtomicUsize::new(0)),
+        replay: Vec::new(),
+        scanner: Scanner::with_options(RtgConfig::default().scanner),
+    };
+    Ok((queue, miner, worker, ops))
+}
+
+/// Drive `n` records through the rig and check the loss-accounting
+/// invariants that must hold under ANY store fault schedule.
+fn check_mining_invariants(
+    schedule: &Arc<FaultSchedule>,
+    n: u64,
+    pool_threads: usize,
+    retries: u32,
+) -> Result<(), String> {
+    let (queue, miner, worker, ops) = faulty_mining_rig(schedule, retries, pool_threads)?;
+    for i in 0..n {
+        // The ingest path counts `ingested`; this harness bypasses it.
+        Ops::inc(&ops.ingested);
+        queue
+            .push_timeout(
+                Accepted::untracked(LogRecord::new(
+                    "svc",
+                    format!("session opened for user u{i}"),
+                )),
+                Duration::from_millis(10),
+            )
+            .map_err(|e| format!("push: {e:?}"))?;
+    }
+    queue.close();
+    worker.run();
+    // Same order as the daemon's drain: workers first, then the miner.
+    miner.close();
+    miner.join();
+
+    let s = ops.snapshot();
+    prop_assert!(s.reconciles(), "must reconcile: {:?}", s);
+    prop_assert_eq!(s.ingested, n);
+    prop_assert!(
+        s.dropped <= s.unmatched,
+        "dropped ({}) is a subset of unmatched ({})",
+        s.dropped,
+        s.unmatched
+    );
+    if schedule.injected() == 0 {
+        prop_assert_eq!(s.dropped, 0);
+    }
+    Ok(())
+}
+
+/// Layer 3a: the inline mining path (`--miners 0`) under store faults.
+/// `dropped` is exact, and zero when no fault fired.
 #[test]
 fn worker_flush_reconciles_under_store_faults() {
     let config = Config::cases(200).with_regressions(regressions());
@@ -212,56 +307,24 @@ fn worker_flush_reconciles_under_store_faults() {
     );
     prop::check(&config, &strategy, |&(seed, n, prob_pct)| {
         let schedule = Arc::new(FaultSchedule::new(seed, prob_pct as f64 / 100.0));
-        let failing = FailingStore::new(Arc::clone(&schedule));
-        let mut store = patterndb::PatternStore::in_memory();
-        store.set_fault_hook(Some(failing.hook()));
-        let engine = Arc::new(Mutex::new(
-            SequenceRtg::new(store, RtgConfig::default()).map_err(|e| format!("engine: {e}"))?,
-        ));
+        check_mining_invariants(&schedule, n, 0, (seed % 3) as u32)
+    });
+}
 
-        let queue = Arc::new(BoundedQueue::new(64));
-        let ops = Arc::new(Ops::new());
-        let worker = ShardWorker {
-            shard_id: 0,
-            queue: Arc::clone(&queue),
-            engine,
-            board: Arc::new(PatternBoard::new()),
-            ops: Arc::clone(&ops),
-            batch_size: 4, // several flushes per case
-            residue_len: Arc::new(AtomicUsize::new(0)),
-            wal: None,
-            replay: Vec::new(),
-            flush_retries: (seed % 3) as u32,
-            flush_backoff: Duration::from_millis(1),
-        };
-        for i in 0..n {
-            // The ingest path counts `ingested`; this harness bypasses it.
-            Ops::inc(&ops.ingested);
-            queue
-                .push_timeout(
-                    Accepted::untracked(LogRecord::new(
-                        "svc",
-                        format!("session opened for user u{i}"),
-                    )),
-                    Duration::from_millis(10),
-                )
-                .map_err(|e| format!("push: {e:?}"))?;
-        }
-        queue.close();
-        worker.run();
-
-        let s = ops.snapshot();
-        prop_assert!(s.reconciles(), "must reconcile: {:?}", s);
-        prop_assert_eq!(s.ingested, n);
-        prop_assert!(
-            s.dropped <= s.unmatched,
-            "dropped ({}) is a subset of unmatched ({})",
-            s.dropped,
-            s.unmatched
-        );
-        if schedule.injected() == 0 {
-            prop_assert_eq!(s.dropped, 0);
-        }
-        Ok(())
+/// Layer 3b: the background miner pool under the same fault schedules —
+/// handoff, coalescing and multi-threaded commits must preserve the exact
+/// loss accounting the inline path has.
+#[test]
+fn miner_pool_reconciles_under_store_faults() {
+    let config = Config::cases(96).with_regressions(regressions());
+    let strategy = (
+        prop::range(0u64..u64::MAX),
+        prop::range(1u64..24), // records per case
+        prop::range(0u64..70), // fault probability, percent
+    );
+    prop::check(&config, &strategy, |&(seed, n, prob_pct)| {
+        let schedule = Arc::new(FaultSchedule::new(seed, prob_pct as f64 / 100.0));
+        let threads = (seed % 3 + 1) as usize; // 1..=3 miner threads
+        check_mining_invariants(&schedule, n, threads, (seed % 3) as u32)
     });
 }

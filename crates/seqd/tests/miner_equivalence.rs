@@ -1,0 +1,125 @@
+//! Observational equivalence of the two mining execution modes.
+//!
+//! `--miners 0` runs every mine inline on the shard worker — the
+//! pre-pipeline behaviour and this PR's baseline. A background pool only
+//! changes *when* mining runs, never *what* it computes: the worker hands
+//! off the same residue batches at the same boundaries, the miner holds the
+//! per-service locks for the same plan/commit sequence, and per-shard jobs
+//! stay serialized. So a workload that waits for mining to settle between
+//! waves must leave byte-identical pattern state behind in both modes:
+//! the same `(service, pattern text, count)` triples in the store and the
+//! same matched/unmatched split in the counters.
+
+use seqd::loadgen;
+use seqd::server::{start, SeqdConfig};
+use seqd::shard::shard_for;
+use seqd::OpsSnapshot;
+use sequence_rtg::{LogRecord, SequenceRtg};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 2;
+const WAVE: usize = 2_500;
+
+fn corpus(seed: u64) -> Vec<LogRecord> {
+    loghub_synth::generate_stream(loghub_synth::CorpusConfig {
+        services: 6,
+        total: WAVE,
+        seed,
+    })
+    .into_iter()
+    .map(|item| LogRecord::new(item.service, item.message))
+    .collect()
+}
+
+/// Poll `/stats` until `remine_runs` reaches `n` — mining has settled.
+fn wait_for_remines(addr: std::net::SocketAddr, n: i64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let stats = loadgen::control_get(addr, "/stats").expect("/stats");
+        let v = jsonlite::parse(&stats).expect("stats json");
+        if v.get("remine_runs").and_then(|x| x.as_i64()).unwrap_or(0) >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reached {n} re-mines; last stats: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Run one daemon over the two-wave workload and return its final pattern
+/// triples and counter snapshot.
+fn run_mode(miners: usize, tag: &str) -> (BTreeSet<(String, String, u64)>, OpsSnapshot) {
+    let wave_a = corpus(11);
+    let wave_b = corpus(12);
+    // Wave A is all-novel residue: one settled mine per shard that saw
+    // traffic. (Every wave uses the same services, so the set is fixed.)
+    let busy_shards = wave_a
+        .iter()
+        .map(|r| shard_for(&r.service, SHARDS))
+        .collect::<BTreeSet<_>>()
+        .len() as i64;
+
+    let dir =
+        std::env::temp_dir().join(format!("seqd-equiv-{tag}-{}-{miners}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = SeqdConfig {
+        shards: SHARDS,
+        // Above the wave size: within a wave only the idle handoff fires,
+        // so batch boundaries cannot depend on mining latency.
+        batch_size: 2 * WAVE,
+        queue_capacity: 4 * WAVE,
+        miners,
+        ..SeqdConfig::default()
+    };
+    let rtg = config.rtg;
+    let store = patterndb::PatternStore::open(&dir).expect("open store");
+    let handle = start(store, config, "127.0.0.1:0").expect("start daemon");
+    let addr = handle.addr();
+
+    let receipt = loadgen::replay_records(addr, &wave_a).expect("replay A");
+    assert_eq!(receipt.accepted, WAVE as u64, "receipt: {receipt:?}");
+    wait_for_remines(addr, busy_shards, Duration::from_secs(120));
+
+    let receipt = loadgen::replay_records(addr, &wave_b).expect("replay B");
+    assert_eq!(receipt.accepted, WAVE as u64, "receipt: {receipt:?}");
+    loadgen::wait_until_processed(addr, 2 * WAVE as u64, Duration::from_secs(120))
+        .expect("drain B");
+
+    handle.initiate_shutdown();
+    let finals = handle.join().expect("join");
+    assert!(finals.reconciles(), "{finals:?}");
+    assert_eq!(finals.dropped, 0, "{finals:?}");
+
+    let store = patterndb::PatternStore::open(&dir).expect("reopen store");
+    let mut reloaded = SequenceRtg::new(store, rtg).expect("reload");
+    let triples: BTreeSet<(String, String, u64)> = reloaded
+        .store_mut()
+        .patterns(None)
+        .expect("patterns")
+        .into_iter()
+        .map(|p| (p.service, p.pattern_text, p.count))
+        .collect();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    (triples, finals)
+}
+
+#[test]
+fn background_pool_is_observationally_equivalent_to_inline() {
+    let (inline_triples, inline_finals) = run_mode(0, "inline");
+    let (pool_triples, pool_finals) = run_mode(2, "pool");
+
+    assert!(!inline_triples.is_empty(), "workload must mine something");
+    assert_eq!(
+        pool_triples, inline_triples,
+        "store triples must not depend on the mining execution mode"
+    );
+    assert_eq!(pool_finals.matched, inline_finals.matched);
+    assert_eq!(pool_finals.unmatched, inline_finals.unmatched);
+    assert!(
+        pool_finals.matched > 0,
+        "wave B must re-use wave A's patterns: {pool_finals:?}"
+    );
+}

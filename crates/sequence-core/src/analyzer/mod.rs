@@ -99,20 +99,9 @@ impl Analyzer {
     /// Sequence-RTG extension, lives in the `sequence-rtg` crate and calls
     /// into this after partitioning.)
     pub fn analyze(&self, messages: &[TokenizedMessage]) -> Vec<DiscoveredPattern> {
-        // Second-level partitioning: one trie per token count.
-        let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
-        for (i, m) in messages.iter().enumerate() {
-            if m.tokens.is_empty() {
-                continue;
-            }
-            by_len.entry(m.token_count()).or_default().push(i as u32);
-        }
-        let mut lens: Vec<usize> = by_len.keys().copied().collect();
-        lens.sort_unstable();
         let mut out = Vec::new();
-        for len in lens {
-            let indices = &by_len[&len];
-            out.extend(self.analyze_same_length(messages, indices));
+        for (_len, indices) in partition_by_token_count(messages) {
+            out.extend(self.analyze_same_length(messages, &indices));
         }
         out
     }
@@ -138,16 +127,10 @@ impl Analyzer {
     /// Peak trie size for a batch, without extraction — used by the memory
     /// accounting experiments around Fig. 5.
     pub fn trie_node_count(&self, messages: &[TokenizedMessage]) -> usize {
-        let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
-        for (i, m) in messages.iter().enumerate() {
-            if !m.tokens.is_empty() {
-                by_len.entry(m.token_count()).or_default().push(i as u32);
-            }
-        }
         let mut total = 0usize;
-        for indices in by_len.values() {
+        for (_len, indices) in partition_by_token_count(messages) {
             let mut trie = AnalysisTrie::new();
-            for &i in indices {
+            for &i in &indices {
                 trie.insert(i, &messages[i as usize].tokens);
             }
             total += trie.node_count();
@@ -261,6 +244,24 @@ impl Analyzer {
             member_indices: terminal.to_vec(),
         }
     }
+}
+
+/// Second-level partitioning — one analysis trie per token count ("only
+/// token sets of the same length are compared in the same analysis trie").
+/// Empty messages are skipped; groups come back in ascending length order so
+/// extraction is deterministic. Shared by [`Analyzer::analyze`] and
+/// [`Analyzer::trie_node_count`].
+fn partition_by_token_count(messages: &[TokenizedMessage]) -> Vec<(usize, Vec<u32>)> {
+    let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
+    for (i, m) in messages.iter().enumerate() {
+        if m.tokens.is_empty() {
+            continue;
+        }
+        by_len.entry(m.token_count()).or_default().push(i as u32);
+    }
+    let mut groups: Vec<(usize, Vec<u32>)> = by_len.into_iter().collect();
+    groups.sort_unstable_by_key(|&(len, _)| len);
+    groups
 }
 
 /// Refine a merged string variable's type from its observed values: if every

@@ -13,9 +13,9 @@
 
 use crate::config::RtgConfig;
 use crate::record::LogRecord;
-use crate::semiconst;
+use crate::service::{commit_service, plan_service, CommitOutcome};
 use patterndb::{PatternStore, StoreError};
-use sequence_core::{Analyzer, MatchScratch, PatternSet, Scanner, TokenizedMessage};
+use sequence_core::{Analyzer, MatchScratch, PatternSet, Scanner};
 use std::collections::HashMap;
 
 /// Summary of one batch run, for operator visibility and the experiments.
@@ -156,25 +156,47 @@ impl SequenceRtg {
         // One transaction per batch: a crash mid-batch must not leave a
         // half-updated pattern database behind.
         self.store.begin()?;
+        let mut committed: Vec<(&str, CommitOutcome)> = Vec::new();
         for service in services {
             let records = &by_service[service];
-            let (scanned, svc_report) = self.scan_service(records);
-            report.multiline += svc_report.0;
-            report.empty_messages += svc_report.1;
-            let unmatched = match self.parse_known(service, &scanned, now, &mut report) {
-                Ok(u) => u,
+            // Plan (pure compute) then commit (store writes) — the same
+            // split the seqd background miner drives under per-piece locks.
+            let plan = plan_service(
+                &self.scanner,
+                &self.analyzer,
+                &self.config,
+                self.sets.get(service),
+                &mut self.scratch,
+                records,
+            );
+            report.matched_known += plan.matched_known;
+            report.analyzed += plan.analyzed;
+            report.multiline += plan.multiline;
+            report.empty_messages += plan.empty_messages;
+            match commit_service(&mut self.store, service, &plan, now) {
+                Ok(outcome) => {
+                    report.new_patterns += outcome.new_patterns;
+                    report.updated_patterns += outcome.updated_patterns;
+                    committed.push((service, outcome));
+                }
                 Err(e) => {
                     self.store.rollback()?;
                     return Err(e);
                 }
-            };
-            if let Err(e) = self.analyze_unmatched(service, &scanned, &unmatched, now, &mut report)
-            {
-                self.store.rollback()?;
-                return Err(e);
             }
         }
         self.store.commit()?;
+        // Only a durable transaction mutates the in-memory parser sets: a
+        // rolled-back batch leaves them exactly mirroring the store.
+        for (service, outcome) in committed {
+            if outcome.inserted.is_empty() {
+                continue;
+            }
+            let set = self.sets.entry(service.to_string()).or_default();
+            for (id, pattern) in outcome.inserted {
+                set.insert(id, pattern);
+            }
+        }
         if self.config.save_threshold > 0 {
             let pruned = self
                 .store
@@ -235,101 +257,6 @@ impl SequenceRtg {
             }
         }
         Ok(report)
-    }
-
-    fn scan_service(&self, records: &[&LogRecord]) -> (Vec<TokenizedMessage>, (u64, u64)) {
-        let _scan_span = obs::span!("rtg.scan");
-        let mut multiline = 0;
-        let mut empty = 0;
-        let scanned: Vec<TokenizedMessage> = records
-            .iter()
-            .map(|r| {
-                let t = self.scanner.scan(&r.message);
-                if t.truncated_multiline {
-                    multiline += 1;
-                }
-                if t.tokens.is_empty() {
-                    empty += 1;
-                }
-                t
-            })
-            .collect();
-        (scanned, (multiline, empty))
-    }
-
-    /// Parse step: match scanned messages against the known set; returns the
-    /// indices of unmatched, non-empty messages.
-    fn parse_known(
-        &mut self,
-        service: &str,
-        scanned: &[TokenizedMessage],
-        now: u64,
-        report: &mut BatchReport,
-    ) -> Result<Vec<u32>, StoreError> {
-        let mut parse_span = obs::span!("rtg.parse");
-        parse_span.attr_u64("messages", scanned.len() as u64);
-        let mut unmatched = Vec::new();
-        let mut match_counts: HashMap<String, u64> = HashMap::new();
-        {
-            let set = self.sets.get(service);
-            let scratch = &mut self.scratch;
-            for (i, msg) in scanned.iter().enumerate() {
-                if msg.tokens.is_empty() {
-                    continue;
-                }
-                match set.and_then(|s| s.match_message_with(msg, scratch)) {
-                    Some(outcome) => {
-                        *match_counts.entry(outcome.pattern_id).or_insert(0) += 1;
-                        report.matched_known += 1;
-                    }
-                    None => unmatched.push(i as u32),
-                }
-            }
-        }
-        for (id, n) in match_counts {
-            self.store.record_matches(&id, n, now)?;
-        }
-        Ok(unmatched)
-    }
-
-    /// Analysis step over the unmatched messages of one service.
-    fn analyze_unmatched(
-        &mut self,
-        service: &str,
-        scanned: &[TokenizedMessage],
-        unmatched: &[u32],
-        now: u64,
-        report: &mut BatchReport,
-    ) -> Result<(), StoreError> {
-        if unmatched.is_empty() {
-            return Ok(());
-        }
-        report.analyzed += unmatched.len() as u64;
-        let subset: Vec<TokenizedMessage> = unmatched
-            .iter()
-            .map(|&i| scanned[i as usize].clone())
-            .collect();
-        let mut discovered = self.analyzer.analyze(&subset);
-        if self.config.semi_constant_split {
-            discovered = semiconst::split_semi_constant(
-                discovered,
-                &subset,
-                self.config.semi_constant_max_values,
-            );
-        }
-        for d in &discovered {
-            let (id, inserted) = self.store.upsert_discovered(service, d, now)?;
-            if inserted {
-                report.new_patterns += 1;
-                self.sets
-                    .entry(service.to_string())
-                    .or_default()
-                    .insert(id, d.pattern.clone());
-            } else {
-                report.updated_patterns += 1;
-            }
-        }
-        Ok(())
     }
 }
 

@@ -57,9 +57,11 @@ pub mod parallel;
 pub mod pipeline;
 pub mod record;
 pub mod semiconst;
+pub mod service;
 
 pub use analyze_by_service::{BatchReport, SequenceRtg};
 pub use config::RtgConfig;
 pub use ingest::{IngestStats, StreamIngester};
 pub use pipeline::Pipeline;
 pub use record::{LogRecord, RecordError};
+pub use service::{commit_service, plan_service, CommitOutcome, ServicePlan};

@@ -57,6 +57,21 @@ fn metrics_stats_and_slow_ring_reflect_a_known_workload() {
     assert_eq!(receipt.accepted, BATCH as u64);
     loadgen::wait_until_processed(addr, 2 * BATCH as u64, Duration::from_secs(120))
         .expect("drain B");
+    // Mining runs behind the ingest path; wait for wave A's re-mine to land
+    // so the analyze/flush surfaces below have something to show.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = loadgen::control_get(addr, "/stats").expect("/stats");
+        let v = jsonlite::parse(&stats).expect("stats json");
+        if v.get("remine_runs").and_then(|x| x.as_i64()).unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never re-mined; last stats: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 
     // --- /metrics: every series self-describing and lint-clean.
     let metrics = loadgen::control_get(addr, "/metrics").expect("/metrics");
