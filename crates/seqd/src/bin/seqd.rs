@@ -5,6 +5,7 @@
 //!      [--queue-capacity N] [--io-timeout-ms N] [--max-line-len N]
 //!      [--wal-dir PATH] [--wal-sync-every N] [--no-wal]
 //!      [--wire event-loop|blocking] [--pollers N] [--miners N]
+//!      [--evolve online|batch]
 //! ```
 //!
 //! `--miners N` sizes the background mining pool (default: a quarter of the
@@ -20,6 +21,7 @@
 //! exits after a `POST /shutdown` completes the drain.
 
 use patterndb::PatternStore;
+use seqd::miner::EvolveMode;
 use seqd::server::{start, SeqdConfig, WireMode};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -69,13 +71,21 @@ fn main() -> ExitCode {
                 }
             }
             "--pollers" => config.pollers = parse(&value("--pollers"), "--pollers"),
+            "--evolve" => {
+                config.evolve = match value("--evolve").as_str() {
+                    "online" => EvolveMode::Online,
+                    "batch" => EvolveMode::Batch,
+                    other => fail(&format!("--evolve expects online or batch, got {other:?}")),
+                }
+            }
             "--miners" => config.miners = parse(&value("--miners"), "--miners"),
             "--help" | "-h" => {
                 println!(
                     "usage: seqd [--addr HOST:PORT] [--store PATH] [--shards N] \
                      [--batch-size N] [--queue-capacity N] [--io-timeout-ms N] \
                      [--max-line-len N] [--wal-dir PATH] [--wal-sync-every N] [--no-wal] \
-                     [--wire event-loop|blocking] [--pollers N] [--miners N]"
+                     [--wire event-loop|blocking] [--pollers N] [--miners N] \
+                     [--evolve online|batch]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -106,6 +116,7 @@ fn main() -> ExitCode {
     let shards = config.shards;
     let batch_size = config.batch_size;
     let miners = config.miners;
+    let evolve = config.evolve;
     let wal_desc = config
         .wal_dir
         .as_ref()
@@ -116,7 +127,7 @@ fn main() -> ExitCode {
         Err(e) => fail(&format!("cannot start daemon on {addr}: {e}")),
     };
     eprintln!(
-        "seqd: listening on {} ({} shards, batch {}, {}, store {}, wal {})",
+        "seqd: listening on {} ({} shards, batch {}, {}, {} mining, store {}, wal {})",
         handle.addr(),
         shards,
         batch_size,
@@ -124,6 +135,10 @@ fn main() -> ExitCode {
             "inline mining".to_string()
         } else {
             format!("{miners} miners")
+        },
+        match evolve {
+            EvolveMode::Online => "online-evolve",
+            EvolveMode::Batch => "batch",
         },
         store_path.as_deref().unwrap_or("in-memory"),
         wal_desc,

@@ -281,6 +281,14 @@ pub struct Ops {
     pub remine_ns_total: AtomicU64,
     /// Nanoseconds spent in the most recent re-mine.
     pub remine_ns_last: AtomicU64,
+    /// Online-evolution mining runs (`--evolve online` jobs with residue).
+    pub evolve_runs: AtomicU64,
+    /// Patterns published (new or reshaped) by online evolution.
+    pub evolve_added: AtomicU64,
+    /// Patterns retracted from the published sets by online evolution.
+    pub evolve_removed: AtomicU64,
+    /// Evolving-trie leaves evicted to hold the per-service node cap.
+    pub evolve_evicted: AtomicU64,
 }
 
 impl Ops {
@@ -324,6 +332,10 @@ impl Ops {
             remines: self.remines.load(Relaxed),
             remine_ns_total: self.remine_ns_total.load(Relaxed),
             remine_ns_last: self.remine_ns_last.load(Relaxed),
+            evolve_runs: self.evolve_runs.load(Relaxed),
+            evolve_added: self.evolve_added.load(Relaxed),
+            evolve_removed: self.evolve_removed.load(Relaxed),
+            evolve_evicted: self.evolve_evicted.load(Relaxed),
         }
     }
 }
@@ -359,6 +371,14 @@ pub struct OpsSnapshot {
     pub remine_ns_total: u64,
     /// See [`Ops::remine_ns_last`].
     pub remine_ns_last: u64,
+    /// See [`Ops::evolve_runs`].
+    pub evolve_runs: u64,
+    /// See [`Ops::evolve_added`].
+    pub evolve_added: u64,
+    /// See [`Ops::evolve_removed`].
+    pub evolve_removed: u64,
+    /// See [`Ops::evolve_evicted`].
+    pub evolve_evicted: u64,
 }
 
 impl OpsSnapshot {
@@ -372,6 +392,19 @@ impl OpsSnapshot {
     pub fn in_flight(&self) -> u64 {
         self.ingested
             .saturating_sub(self.matched + self.unmatched + self.rejected + self.malformed)
+    }
+
+    /// Counter drift: how far the per-fate counters run *ahead* of
+    /// `ingested`. Always zero in a healthy plane — in flight, `ingested`
+    /// leads and [`OpsSnapshot::in_flight`] is positive instead. The
+    /// `saturating_sub` there used to mask exactly this over-accounting (a
+    /// record double-counted as both matched and unmatched would read as
+    /// `in_flight = 0`, indistinguishable from quiescence), so the negative
+    /// direction now gets its own series: `seqd_counter_drift_total`,
+    /// asserted zero after drain by the observability end-to-end tests.
+    pub fn counter_drift(&self) -> u64 {
+        (self.matched + self.unmatched + self.rejected + self.malformed)
+            .saturating_sub(self.ingested)
     }
 
     /// Render the Prometheus text exposition format. `queue_depths` become
@@ -440,6 +473,31 @@ impl OpsSnapshot {
                 "Residue re-mining runs",
                 self.remines,
             ),
+            (
+                "seqd_evolve_runs_total",
+                "Online-evolution mining runs",
+                self.evolve_runs,
+            ),
+            (
+                "seqd_evolve_added_total",
+                "Patterns published by online evolution",
+                self.evolve_added,
+            ),
+            (
+                "seqd_evolve_removed_total",
+                "Patterns retracted by online evolution",
+                self.evolve_removed,
+            ),
+            (
+                "seqd_evolve_evicted_total",
+                "Evolving-trie leaves evicted by the per-service node cap",
+                self.evolve_evicted,
+            ),
+            (
+                "seqd_counter_drift_total",
+                "Fate counters running ahead of ingested (over-accounting; alert on nonzero)",
+                self.counter_drift(),
+            ),
         ] {
             push_counter(&mut out, name, help, value);
         }
@@ -490,6 +548,24 @@ mod tests {
         let s = ops.snapshot();
         assert!(!s.reconciles());
         assert_eq!(s.in_flight(), 1);
+        assert_eq!(s.counter_drift(), 0, "records in flight are not drift");
+    }
+
+    /// The masked direction of the reconciliation invariant: fate counters
+    /// running *ahead* of `ingested` used to vanish into `in_flight`'s
+    /// `saturating_sub`; `counter_drift` makes it observable.
+    #[test]
+    fn over_accounting_surfaces_as_counter_drift() {
+        let ops = Ops::new();
+        Ops::add(&ops.ingested, 5);
+        Ops::add(&ops.matched, 4);
+        Ops::add(&ops.unmatched, 2); // one record double-counted
+        let s = ops.snapshot();
+        assert!(!s.reconciles());
+        assert_eq!(s.in_flight(), 0, "the saturating_sub hides the bug");
+        assert_eq!(s.counter_drift(), 1, "the drift series exposes it");
+        let text = s.render_prometheus(&[]);
+        assert!(text.contains("seqd_counter_drift_total 1"), "{text}");
     }
 
     #[test]
@@ -511,6 +587,11 @@ mod tests {
             "seqd_mine_coalesced_total 0",
             "seqd_mine_overflow_total 0",
             "seqd_remine_runs_total 1",
+            "seqd_evolve_runs_total 0",
+            "seqd_evolve_added_total 0",
+            "seqd_evolve_removed_total 0",
+            "seqd_evolve_evicted_total 0",
+            "seqd_counter_drift_total 0",
             "seqd_remine_seconds_total 0.005",
             "seqd_remine_seconds_last 0.005",
             "seqd_queue_depth{shard=\"0\"} 3",

@@ -41,7 +41,7 @@
 use crate::eventloop::{self, EventLoop, EventLoopDeps};
 use crate::http::{respond, Request};
 use crate::metrics::{Ops, OpsSnapshot};
-use crate::miner::{Miner, MinerDeps, MiningEngine};
+use crate::miner::{DrainSignal, EvolveMode, Miner, MinerDeps, MiningEngine};
 use crate::protocol::{read_line_capped, serve_ingest, LineOutcome};
 use crate::queue::BoundedQueue;
 use crate::shard::{Router, ShardWorker};
@@ -107,6 +107,9 @@ pub struct SeqdConfig {
     pub miners: usize,
     /// Ingest wire path (see [`WireMode`]).
     pub wire: WireMode,
+    /// How residue becomes patterns: batch re-mining (the equivalence
+    /// baseline) or the live per-service evolving trie (see [`EvolveMode`]).
+    pub evolve: EvolveMode,
     /// Event-loop poller threads; `0` means auto (one per core, capped).
     /// Ignored in [`WireMode::Blocking`].
     pub pollers: usize,
@@ -131,6 +134,7 @@ impl Default for SeqdConfig {
             flush_backoff: Duration::from_millis(50),
             miners: default_miners(),
             wire: WireMode::EventLoop,
+            evolve: EvolveMode::Batch,
             pollers: 0,
             rtg: RtgConfig {
                 batch_size: 5_000,
@@ -157,6 +161,8 @@ struct Shared {
     router: Arc<Router>,
     residues: Vec<Arc<AtomicUsize>>,
     wal: Option<Arc<IngestWal>>,
+    /// Interrupts mining-retry backoffs once the drain begins.
+    drain: Arc<DrainSignal>,
     connections: Arc<AtomicUsize>,
     io_timeout: Duration,
     max_line_len: usize,
@@ -201,6 +207,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     crate::metrics::stages::preregister();
     let (engine, seed_sets) = MiningEngine::new(store, config.rtg)
         .map_err(|e| io::Error::other(format!("pattern store load failed: {e}")))?;
+    let engine = engine.with_evolve(config.evolve);
     let board = Arc::new(PatternBoard::new());
     board.seed(seed_sets);
     let engine = Arc::new(engine);
@@ -235,6 +242,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
     // blocking backpressure path (which would put mining right back on
     // the ingest hot path it was moved off of).
     let batch_size = config.batch_size.max(1);
+    let drain = Arc::new(DrainSignal::new());
     let deps = MinerDeps {
         engine: Arc::clone(&engine),
         board: Arc::clone(&board),
@@ -242,6 +250,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         wal: wal.clone(),
         retries: config.flush_retries,
         backoff: config.flush_backoff,
+        drain: Arc::clone(&drain),
     };
     let miner = Arc::new(if config.miners == 0 {
         Miner::inline(deps)
@@ -260,6 +269,7 @@ pub fn start(store: PatternStore, config: SeqdConfig, addr: &str) -> io::Result<
         router: Arc::clone(&router),
         residues: residues.clone(),
         wal: wal.clone(),
+        drain,
         connections: Arc::new(AtomicUsize::new(0)),
         io_timeout: config.io_timeout,
         max_line_len: config.max_line_len.max(16),
@@ -475,6 +485,9 @@ fn initiate_shutdown(shared: &Shared) {
         return; // already draining
     }
     shared.router.close();
+    // Cut any in-progress mining-retry backoff short: the drain must not
+    // wait out the exponential ladder (see `DrainSignal`).
+    shared.drain.trip();
     // Kick sleeping pollers so they finalize their connections now.
     if let Some(wakers) = shared.poller_wakers.get() {
         eventloop::wake(wakers);
@@ -684,6 +697,11 @@ fn stats_json(shared: &Shared) -> String {
         ),
         ("pattern_swaps", (s.swaps as i64).into()),
         ("remine_runs", (s.remines as i64).into()),
+        ("evolve_runs", (s.evolve_runs as i64).into()),
+        ("evolve_added", (s.evolve_added as i64).into()),
+        ("evolve_removed", (s.evolve_removed as i64).into()),
+        ("evolve_evicted", (s.evolve_evicted as i64).into()),
+        ("counter_drift", (s.counter_drift() as i64).into()),
         (
             "remine_seconds_total",
             (s.remine_ns_total as f64 / 1e9).into(),

@@ -413,6 +413,7 @@ mod tests {
             wal: None,
             retries: 0,
             backoff: Duration::from_millis(1),
+            drain: Arc::new(crate::miner::DrainSignal::new()),
         }
     }
 

@@ -230,6 +230,7 @@ fn faulty_mining_rig(
         wal: None,
         retries,
         backoff: Duration::from_millis(1),
+        drain: Arc::new(seqd::miner::DrainSignal::new()),
     };
     let miner = Arc::new(if pool_threads == 0 {
         Miner::inline(deps)

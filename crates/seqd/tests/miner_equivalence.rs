@@ -11,12 +11,19 @@
 //! same matched/unmatched split in the counters.
 
 use seqd::loadgen;
+use seqd::metrics::Ops;
+use seqd::miner::{DrainSignal, MineJob, Miner, MinerDeps, MiningEngine};
 use seqd::server::{start, SeqdConfig};
 use seqd::shard::shard_for;
+use seqd::swap::PatternBoard;
 use seqd::OpsSnapshot;
-use sequence_rtg::{LogRecord, SequenceRtg};
-use std::collections::BTreeSet;
+use sequence_rtg::{LogRecord, RtgConfig, SequenceRtg};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use testkit::prop::{self, Config};
+use testkit::prop_assert;
+use testkit::rng::Rng;
 
 const SHARDS: usize = 2;
 const WAVE: usize = 2_500;
@@ -121,5 +128,204 @@ fn background_pool_is_observationally_equivalent_to_inline() {
     assert!(
         pool_finals.matched > 0,
         "wave B must re-use wave A's patterns: {pool_finals:?}"
+    );
+}
+
+/// Property: the miner-pool queue discipline — at most one pending job per
+/// shard ([`MineJob::merge`] folds later submissions in), at most one job
+/// in flight per shard — preserves per-service record order end to end.
+/// Random submission streams are pushed through a faithful simulation of
+/// that discipline (coalesce-or-mine decided per submission by the seed)
+/// and the concatenation of mined batches must keep every service's
+/// records in their original sequence.
+#[test]
+fn coalescing_preserves_per_service_record_order() {
+    let config = Config::cases(300).with_regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/proptest-regressions/miner_equivalence.txt"
+    ));
+    let strategy = (
+        prop::range(0u64..u64::MAX),
+        prop::range(1u64..12), // submissions
+        prop::range(1u64..8),  // records per submission
+    );
+    prop::check(&config, &strategy, |&(seed, submissions, per_batch)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut next_seq: HashMap<String, u64> = HashMap::new();
+        let mut mined: Vec<MineJob> = Vec::new();
+        let mut pending: Option<MineJob> = None;
+        let mut expected_counts: HashMap<String, u64> = HashMap::new();
+        let mut max_release = 0u64;
+
+        for s in 0..submissions {
+            // A submission: seq-stamped records across up to three
+            // services, plus match counts and a WAL high-water mark.
+            let mut job = MineJob {
+                shard_id: 7,
+                batch: Vec::new(),
+                counts: HashMap::new(),
+                release_up_to: s + 1,
+                enqueued: Instant::now(),
+            };
+            max_release = s + 1;
+            for _ in 0..per_batch {
+                let service = format!("svc-{}", rng.bounded(3));
+                let seq = next_seq.entry(service.clone()).or_insert(0);
+                job.batch
+                    .push(LogRecord::new(service, format!("seq {}", *seq)));
+                *seq += 1;
+            }
+            let id = format!("p{}", rng.bounded(2));
+            *job.counts.entry(id.clone()).or_insert(0) += 1;
+            *expected_counts.entry(id).or_insert(0) += 1;
+
+            match pending.take() {
+                // The shard already has a queued job: the pool coalesces.
+                Some(mut p) => {
+                    p.merge(job);
+                    pending = Some(p);
+                }
+                None => pending = Some(job),
+            }
+            // Seed-chosen schedule: sometimes a miner thread picks the
+            // pending job up before the next submission arrives.
+            if rng.gen_bool(0.5) {
+                if let Some(p) = pending.take() {
+                    mined.push(p);
+                }
+            }
+        }
+        if let Some(p) = pending.take() {
+            mined.push(p);
+        }
+
+        // Per-shard jobs mine in pickup order; concatenating their batches
+        // is the exact stream the analyser sees. Every service's sequence
+        // numbers must come out 0, 1, 2, ... with none lost or reordered.
+        let mut seen: HashMap<&str, u64> = HashMap::new();
+        let mut total = 0u64;
+        for job in &mined {
+            for r in &job.batch {
+                let expect = seen.entry(r.service.as_str()).or_insert(0);
+                let seq: u64 = r
+                    .message
+                    .strip_prefix("seq ")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("unparseable seq")?;
+                prop_assert!(
+                    seq == *expect,
+                    "service {} saw seq {} after {} mined jobs, expected {}",
+                    r.service,
+                    seq,
+                    mined.len(),
+                    *expect
+                );
+                *expect += 1;
+                total += 1;
+            }
+        }
+        prop_assert!(total == submissions * per_batch, "records lost in merge");
+
+        // Merging also folds counts additively and keeps the highest WAL
+        // mark — the other two fields a coalesced job must not corrupt.
+        let mut merged_counts: HashMap<String, u64> = HashMap::new();
+        let mut merged_release = 0u64;
+        for job in &mined {
+            for (id, n) in &job.counts {
+                *merged_counts.entry(id.clone()).or_insert(0) += n;
+            }
+            merged_release = merged_release.max(job.release_up_to);
+        }
+        prop_assert!(merged_counts == expected_counts, "counts corrupted");
+        prop_assert!(merged_release == max_release, "WAL mark regressed");
+        Ok(())
+    });
+}
+
+/// Force *real* coalescing through a live one-thread pool — a slow store
+/// commit holds the first job in flight while later submissions pile onto
+/// the shard's pending slot — and require the outcome to be byte-identical
+/// to inline mining of the same waves.
+#[test]
+fn forced_coalescing_matches_inline_mining() {
+    fn wave(i: u64) -> Vec<LogRecord> {
+        (0..4)
+            .map(|j| {
+                LogRecord::new(
+                    format!("svc-{}", j % 2),
+                    format!("wave event user-{} online", i * 10 + j),
+                )
+            })
+            .collect()
+    }
+    fn job(i: u64) -> MineJob {
+        MineJob {
+            shard_id: 0,
+            batch: wave(i),
+            counts: HashMap::new(),
+            release_up_to: 0,
+            enqueued: Instant::now(),
+        }
+    }
+    fn triples(deps: &MinerDeps) -> BTreeSet<(String, String, u64)> {
+        deps.engine
+            .store()
+            .lock()
+            .unwrap()
+            .patterns(None)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.service, p.pattern_text, p.count))
+            .collect()
+    }
+    fn deps_with_slow_commit(slow: bool) -> MinerDeps {
+        let mut store = patterndb::PatternStore::in_memory();
+        if slow {
+            // Never fails — just stalls each transaction long enough for
+            // the submitter to outrun the single mining thread.
+            store.set_fault_hook(Some(Arc::new(|op: &str| {
+                if op == "begin" {
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+                false
+            })));
+        }
+        let (engine, _seed) = MiningEngine::new(store, RtgConfig::default()).unwrap();
+        MinerDeps {
+            engine: Arc::new(engine),
+            board: Arc::new(PatternBoard::new()),
+            ops: Arc::new(Ops::new()),
+            wal: None,
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            drain: Arc::new(DrainSignal::new()),
+        }
+    }
+
+    let inline_deps = deps_with_slow_commit(false);
+    let inline = Miner::inline(inline_deps.clone());
+    for i in 0..5 {
+        inline.try_submit(job(i)).unwrap();
+    }
+
+    let pool_deps = deps_with_slow_commit(true);
+    let pool = Miner::background(pool_deps.clone(), 1, 10_000);
+    for i in 0..5 {
+        pool.submit_blocking(job(i));
+    }
+    pool.close();
+    pool.join();
+
+    let s = pool_deps.ops.snapshot();
+    assert!(
+        s.mine_coalesced >= 1,
+        "the slow commit must force at least one coalesce: {s:?}"
+    );
+    assert_eq!(s.mine_jobs + s.mine_coalesced, 5, "{s:?}");
+    assert_eq!(s.dropped, 0, "{s:?}");
+    assert_eq!(
+        triples(&pool_deps),
+        triples(&inline_deps),
+        "coalesced mining diverged from inline"
     );
 }

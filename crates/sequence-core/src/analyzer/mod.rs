@@ -14,6 +14,7 @@ mod semantics;
 mod trie;
 
 pub use semantics::{is_email, is_hostname, name_variables};
+pub(crate) use trie::{key_for, MAX_OBSERVED};
 pub use trie::{AnalysisTrie, Node, NodeKey};
 
 use crate::pattern::{Pattern, PatternElement};
@@ -148,85 +149,20 @@ impl Analyzer {
         let group_size = terminal.len();
         let mut elements = Vec::with_capacity(nodes.len());
         for node in nodes {
-            let el = match &node.key {
-                NodeKey::Lit(text) => {
-                    // Analysis-time special types: a constant email or host
-                    // name is still worth capturing as a typed variable.
-                    if self.opts.detect_semantics && is_email(text) {
-                        PatternElement::Variable {
-                            name: String::new(),
-                            ty: TokenType::Email,
-                            space_before: node.space_before,
-                        }
-                    } else if self.opts.detect_semantics && is_hostname(text) {
-                        PatternElement::Variable {
-                            name: String::new(),
-                            ty: TokenType::Hostname,
-                            space_before: node.space_before,
-                        }
-                    } else {
-                        PatternElement::Literal {
-                            text: text.clone(),
-                            space_before: node.space_before,
-                        }
-                    }
-                }
-                NodeKey::Typed(ty) => {
-                    let constant = node.observed.len() == 1;
-                    if self.opts.quality_control
-                        && constant
-                        && group_size >= self.opts.min_group_for_demotion
-                    {
-                        // Limitation-4 fix: a typed token that never varies is
-                        // static text, not a variable.
-                        PatternElement::Literal {
-                            text: node.observed.iter().next().unwrap().clone(),
-                            space_before: node.space_before,
-                        }
-                    } else {
-                        PatternElement::Variable {
-                            name: String::new(),
-                            ty: *ty,
-                            space_before: node.space_before,
-                        }
-                    }
-                }
-                NodeKey::Var(_) => {
-                    let ty = if self.opts.detect_semantics {
-                        refine_string_type(&node.observed)
-                    } else {
-                        TokenType::Literal
-                    };
-                    PatternElement::Variable {
-                        name: String::new(),
-                        ty,
-                        space_before: node.space_before,
-                    }
-                }
-            };
-            elements.push(el);
+            elements.push(element_for(
+                &self.opts,
+                &node.key,
+                &node.observed,
+                node.space_before,
+                group_size,
+            ));
         }
         // Multi-line messages: pattern covers the first line only; tell the
         // parser to ignore everything after it (limitation 6).
-        if terminal
+        let multiline = terminal
             .iter()
-            .any(|&i| messages[i as usize].truncated_multiline)
-        {
-            elements.push(PatternElement::IgnoreRest);
-        }
-        if self.opts.detect_semantics {
-            name_variables(&mut elements);
-        } else {
-            // Anonymous but unique names are still required for captures.
-            let mut counter = 0usize;
-            for el in &mut elements {
-                if let PatternElement::Variable { name, .. } = el {
-                    *name = format!("v{counter}");
-                    counter += 1;
-                }
-            }
-        }
-        let pattern = Pattern::new(elements).expect("ignore-rest only appended at the end");
+            .any(|&i| messages[i as usize].truncated_multiline);
+        let pattern = finalize_pattern(&self.opts, elements, multiline);
         let mut examples: Vec<String> = Vec::new();
         for &i in terminal {
             let raw = messages[i as usize].source();
@@ -244,6 +180,101 @@ impl Analyzer {
             member_indices: terminal.to_vec(),
         }
     }
+}
+
+/// Turn one trie position into a pattern element — the variable-induction
+/// semantics shared by the batch analyser and the online evolver
+/// ([`crate::evolve`]). A position is summarised by its key, the distinct
+/// values observed there (bounded sample), its spacing, and the size of the
+/// group the containing pattern covers (quality-control demotion is only
+/// confident on groups of `min_group_for_demotion` or more).
+pub(crate) fn element_for(
+    opts: &AnalyzerOptions,
+    key: &NodeKey,
+    observed: &std::collections::BTreeSet<String>,
+    space_before: bool,
+    group_size: usize,
+) -> PatternElement {
+    match key {
+        NodeKey::Lit(text) => {
+            // Analysis-time special types: a constant email or host
+            // name is still worth capturing as a typed variable.
+            if opts.detect_semantics && is_email(text) {
+                PatternElement::Variable {
+                    name: String::new(),
+                    ty: TokenType::Email,
+                    space_before,
+                }
+            } else if opts.detect_semantics && is_hostname(text) {
+                PatternElement::Variable {
+                    name: String::new(),
+                    ty: TokenType::Hostname,
+                    space_before,
+                }
+            } else {
+                PatternElement::Literal {
+                    text: text.clone(),
+                    space_before,
+                }
+            }
+        }
+        NodeKey::Typed(ty) => {
+            let constant = observed.len() == 1;
+            if opts.quality_control && constant && group_size >= opts.min_group_for_demotion {
+                // Limitation-4 fix: a typed token that never varies is
+                // static text, not a variable.
+                PatternElement::Literal {
+                    text: observed.iter().next().unwrap().clone(),
+                    space_before,
+                }
+            } else {
+                PatternElement::Variable {
+                    name: String::new(),
+                    ty: *ty,
+                    space_before,
+                }
+            }
+        }
+        NodeKey::Var(_) => {
+            let ty = if opts.detect_semantics {
+                refine_string_type(observed)
+            } else {
+                TokenType::Literal
+            };
+            PatternElement::Variable {
+                name: String::new(),
+                ty,
+                space_before,
+            }
+        }
+    }
+}
+
+/// Finish a pattern from its positional elements: append the multi-line
+/// `IgnoreRest` marker (limitation 6), run semantic variable naming (or
+/// assign anonymous-but-unique capture names), and build the [`Pattern`].
+/// Shared by the batch analyser and the online evolver.
+pub(crate) fn finalize_pattern(
+    opts: &AnalyzerOptions,
+    mut elements: Vec<PatternElement>,
+    multiline: bool,
+) -> Pattern {
+    if multiline {
+        elements.push(PatternElement::IgnoreRest);
+    }
+    if opts.detect_semantics {
+        name_variables(&mut elements);
+    } else {
+        // Anonymous but unique names are still required for captures.
+        let mut counter = 0usize;
+        for el in &mut elements {
+            if let PatternElement::Variable { name, .. } = el {
+                *name = format!("v{counter}");
+                counter += 1;
+            }
+        }
+    }
+    Pattern::new(elements).expect("ignore-rest only appended at the end")
 }
 
 /// Second-level partitioning — one analysis trie per token count ("only

@@ -1,0 +1,1041 @@
+//! Online pattern evolution: a live trie that absorbs one unmatched line at
+//! a time and keeps its pattern set continuously corrected.
+//!
+//! The batch analyser ([`crate::Analyzer`]) re-mines a whole residue batch
+//! every time the unmatched threshold trips — O(batch) latency-to-correction
+//! and unbounded residue memory under adversarial streams (the paper's
+//! limitation 5). This module is the streaming alternative (in the style of
+//! USTEP's evolving search tree and SCOPE's self-correcting online parsing):
+//! each unmatched line is inserted into a per-service live trie, variable
+//! positions are induced *as the line arrives*, and every structural change
+//! is reported as a [`EvolveDelta`] the caller can publish immediately.
+//!
+//! The trie reuses the batch analyser's vocabulary ([`NodeKey`]: literal /
+//! typed / merge-variable nodes, one trie per token count) and its exact
+//! variable-induction semantics (`element_for` / `finalize_pattern` are
+//! shared), so a quiesced evolver and a batch run over the same lines agree
+//! on what a variable is. On top of that it adds the online rules:
+//!
+//! * **Sibling merge, incrementally.** After each insertion the batch
+//!   sibling-merge rule ("literal children that share the same child key
+//!   set") is applied bottom-up along the inserted path only — the rest of
+//!   the trie is untouched, so the cost is O(path), not O(trie).
+//! * **Fan-out induction.** When a node's *literal* fan-out crosses
+//!   [`EvolveOptions::max_literal_fanout`], all its literal (and merged
+//!   variable) children collapse into a single *absorbing* variable that
+//!   future literals descend into directly. This is the high-cardinality
+//!   valve: a position carrying user names or request ids stops allocating a
+//!   node per distinct value.
+//! * **Drift detection.** A typed variable that produces the same value
+//!   [`EvolveOptions::collapse_streak`] times in a row has collapsed to a
+//!   constant: its observed-value memory is reset so quality control demotes
+//!   it back to a literal (and a later differing value promotes it again).
+//!   Sibling patterns that should merge are caught by the incremental merge
+//!   pass the moment their subtrees converge.
+//! * **Bounded memory.** Total node count is capped
+//!   ([`EvolveOptions::node_cap`]); crossing the cap evicts the
+//!   least-recently-touched leaves (and their then-childless ancestors)
+//!   until the trie fits. Evictions forget *evidence*, not decisions:
+//!   already-emitted patterns stay published, and the eviction count is
+//!   exposed for observability.
+
+use crate::analyzer::{
+    element_for, finalize_pattern, key_for, AnalyzerOptions, DiscoveredPattern, NodeKey,
+    MAX_OBSERVED,
+};
+use crate::pattern::PatternElement;
+use crate::token::TokenizedMessage;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// Configuration for a [`PatternEvolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolveOptions {
+    /// Variable-induction semantics, shared verbatim with the batch
+    /// analyser.
+    pub analyzer: AnalyzerOptions,
+    /// Literal fan-out at one node beyond which a variable position is
+    /// induced: all literal children collapse into one absorbing variable.
+    pub max_literal_fanout: usize,
+    /// Maximum live trie nodes (across all token-count tries) before
+    /// least-recently-touched leaves are evicted. `0` disables the cap.
+    pub node_cap: usize,
+    /// A typed variable observing the same value this many times in a row is
+    /// treated as collapsed-to-constant drift: its value memory resets so
+    /// quality control demotes it to a literal. `0` disables collapse
+    /// detection.
+    pub collapse_streak: u64,
+}
+
+impl Default for EvolveOptions {
+    fn default() -> Self {
+        EvolveOptions {
+            analyzer: AnalyzerOptions::default(),
+            max_literal_fanout: 16,
+            node_cap: 8192,
+            collapse_streak: 64,
+        }
+    }
+}
+
+/// The pattern-set correction emitted by one [`PatternEvolver::observe`].
+///
+/// Renders are the canonical pattern identity: `added` carries patterns
+/// whose render newly entered the published set, `removed` carries renders
+/// that no longer describe any leaf (superseded by a more general pattern).
+#[derive(Debug, Clone, Default)]
+pub struct EvolveDelta {
+    /// Patterns newly published (or re-published after their shape changed).
+    pub added: Vec<DiscoveredPattern>,
+    /// Renders of patterns retracted by this observation.
+    pub removed: Vec<String>,
+    /// `(retired render, successor render)` for every leaf whose pattern was
+    /// reshaped or absorbed by a merge this observation: the successor is the
+    /// pattern that now describes the retired render's lines. Callers that
+    /// attribute line counts by render use this to migrate credit for
+    /// patterns that died before ever being persisted.
+    pub superseded: Vec<(String, String)>,
+}
+
+impl EvolveDelta {
+    /// `true` when the observation changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// One node of the live trie. Terminals are always leaves: every path in a
+/// token-count trie has exactly that many tokens.
+#[derive(Debug)]
+struct ENode {
+    key: NodeKey,
+    space_before: bool,
+    parent: usize,
+    children: HashMap<NodeKey, usize>,
+    /// Distinct values observed at this position (bounded sample, same
+    /// bound as the batch trie).
+    observed: BTreeSet<String>,
+    /// Messages that passed through this node (== messages ending here, for
+    /// a leaf).
+    count: u64,
+    /// Leaf state: this node terminates messages.
+    terminal: bool,
+    /// Up to three unique example lines (leaf only).
+    examples: Vec<String>,
+    /// The render this leaf last contributed to the published set.
+    last_render: Option<String>,
+    /// A message ending here had embedded line breaks (leaf only).
+    multiline: bool,
+    /// Logical clock of the last observation through this leaf.
+    last_touch: u64,
+    /// Collapse-drift tracking (typed nodes): the current value streak.
+    streak_value: Option<String>,
+    streak: u64,
+    /// Fan-out-induced variables absorb unknown literals on descent.
+    absorbing: bool,
+    /// Slot generation (slots are reused after eviction/merge).
+    gen: u32,
+    live: bool,
+}
+
+impl ENode {
+    fn new(key: NodeKey, space_before: bool, parent: usize, gen: u32) -> ENode {
+        ENode {
+            key,
+            space_before,
+            parent,
+            children: HashMap::new(),
+            observed: BTreeSet::new(),
+            count: 0,
+            terminal: false,
+            examples: Vec::new(),
+            last_render: None,
+            multiline: false,
+            last_touch: 0,
+            streak_value: None,
+            streak: 0,
+            absorbing: false,
+            gen,
+            live: true,
+        }
+    }
+}
+
+const ROOT: usize = 0;
+
+/// One live trie (all messages of one token count).
+#[derive(Debug)]
+struct Trie {
+    nodes: Vec<ENode>,
+    free: Vec<usize>,
+}
+
+impl Trie {
+    fn new() -> Trie {
+        Trie {
+            nodes: vec![ENode::new(NodeKey::Var(0), false, usize::MAX, 0)],
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, key: NodeKey, space_before: bool, parent: usize) -> usize {
+        match self.free.pop() {
+            Some(id) => {
+                let gen = self.nodes[id].gen;
+                self.nodes[id] = ENode::new(key, space_before, parent, gen);
+                id
+            }
+            None => {
+                self.nodes.push(ENode::new(key, space_before, parent, 0));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn release(&mut self, id: usize) {
+        let n = &mut self.nodes[id];
+        n.live = false;
+        n.gen = n.gen.wrapping_add(1);
+        n.children = HashMap::new();
+        n.observed = BTreeSet::new();
+        n.examples = Vec::new();
+        n.last_render = None;
+        self.free.push(id);
+    }
+}
+
+/// A per-service online pattern evolver. See the module docs.
+#[derive(Debug)]
+pub struct PatternEvolver {
+    opts: EvolveOptions,
+    /// One live trie per token count ("only token sets of the same length
+    /// are compared in the same analysis trie").
+    tries: HashMap<usize, Trie>,
+    /// Live nodes across all tries (roots included).
+    nodes_total: usize,
+    /// Logical observation clock, drives leaf LRU.
+    tick: u64,
+    /// Leaves evicted to stay under the node cap.
+    evictions: u64,
+    /// Fan-out-threshold variable inductions performed.
+    induced: u64,
+    /// Incremental sibling merges performed.
+    merges: u64,
+    /// Render → number of leaves currently emitting it.
+    published: HashMap<String, u32>,
+    /// Render → lines attributed since the last [`PatternEvolver::drain_counts`].
+    pending_counts: HashMap<String, u64>,
+    /// Leaf LRU: `(touch, token count, node id, generation)`, lazily
+    /// invalidated (stale entries are skipped on pop).
+    lru: BinaryHeap<Reverse<(u64, usize, usize, u32)>>,
+}
+
+impl PatternEvolver {
+    /// An evolver with the given options.
+    pub fn new(opts: EvolveOptions) -> PatternEvolver {
+        PatternEvolver {
+            opts,
+            tries: HashMap::new(),
+            nodes_total: 0,
+            tick: 0,
+            evictions: 0,
+            induced: 0,
+            merges: 0,
+            published: HashMap::new(),
+            pending_counts: HashMap::new(),
+            lru: BinaryHeap::new(),
+        }
+    }
+
+    /// Total live trie nodes (the quantity bounded by the node cap).
+    pub fn node_count(&self) -> usize {
+        self.nodes_total
+    }
+
+    /// Leaves evicted so far to stay under the node cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Fan-out-threshold variable inductions performed so far.
+    pub fn induced_vars(&self) -> u64 {
+        self.induced
+    }
+
+    /// Incremental sibling merges performed so far.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of currently published patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.published.len()
+    }
+
+    /// Renders of all currently published patterns (sorted, for tests).
+    pub fn renders(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.published.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drain the per-pattern line attributions accumulated since the last
+    /// call: lines that landed on an already-published pattern without
+    /// changing it. (Lines that triggered a publication are credited in the
+    /// emitted [`DiscoveredPattern::match_count`] instead — every line is
+    /// credited exactly once.)
+    pub fn drain_counts(&mut self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.pending_counts.drain().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Feed one unmatched line into the trie and return the pattern-set
+    /// correction it caused (often empty: a line that fits an existing leaf
+    /// without crossing any threshold changes nothing).
+    pub fn observe(&mut self, msg: &TokenizedMessage) -> EvolveDelta {
+        if msg.tokens.is_empty() {
+            return EvolveDelta::default();
+        }
+        let len = msg.token_count();
+        self.tick += 1;
+        let tick = self.tick;
+        let nodes_total = &mut self.nodes_total;
+        let trie = self.tries.entry(len).or_insert_with(|| {
+            *nodes_total += 1; // the root
+            Trie::new()
+        });
+
+        // ---- Insert: descend, creating nodes as needed. -----------------
+        let mut path: Vec<usize> = Vec::with_capacity(len + 1);
+        path.push(ROOT);
+        let mut at = ROOT;
+        // Path index (0 = root) of the highest node whose subtree's
+        // patterns may have changed.
+        let mut changed_at: Option<usize> = None;
+        let mark = |changed_at: &mut Option<usize>, i: usize| match *changed_at {
+            Some(c) if c <= i => {}
+            _ => *changed_at = Some(i),
+        };
+        for (depth, tok) in msg.tokens.iter().enumerate() {
+            let key = key_for(tok);
+            let next = match trie.nodes[at].children.get(&key) {
+                Some(&id) => id,
+                None => {
+                    // Induced variables absorb unknown literals directly.
+                    let absorber = if matches!(key, NodeKey::Lit(_)) {
+                        trie.nodes[at]
+                            .children
+                            .iter()
+                            .find(|(k, &cid)| k.is_var() && trie.nodes[cid].absorbing)
+                            .map(|(_, &cid)| cid)
+                    } else {
+                        None
+                    };
+                    match absorber {
+                        Some(cid) => cid,
+                        None => {
+                            let id = trie.alloc(key.clone(), tok.is_space_before, at);
+                            trie.nodes[at].children.insert(key, id);
+                            *nodes_total += 1;
+                            mark(&mut changed_at, depth + 1);
+                            id
+                        }
+                    }
+                }
+            };
+            let node = &mut trie.nodes[next];
+            node.count += 1;
+            let newly_observed =
+                node.observed.len() < MAX_OBSERVED && node.observed.insert(tok.text.to_string());
+            if newly_observed {
+                mark(&mut changed_at, depth + 1);
+            }
+            // Collapse-to-constant drift: a typed variable stuck on one
+            // value forgets its history so quality control demotes it.
+            if self.opts.collapse_streak > 0 {
+                if let NodeKey::Typed(_) = node.key {
+                    if node.streak_value.as_deref() == Some(&*tok.text) {
+                        node.streak += 1;
+                        if node.streak == self.opts.collapse_streak && node.observed.len() > 1 {
+                            node.observed.clear();
+                            node.observed.insert(tok.text.to_string());
+                            mark(&mut changed_at, depth + 1);
+                        }
+                    } else {
+                        node.streak_value = Some(tok.text.to_string());
+                        node.streak = 1;
+                    }
+                }
+            }
+            path.push(next);
+            at = next;
+        }
+        // Leaf bookkeeping.
+        {
+            let leaf = &mut trie.nodes[at];
+            let group_before = leaf.count - 1; // count already incremented
+            leaf.terminal = true;
+            leaf.last_touch = tick;
+            if msg.truncated_multiline && !leaf.multiline {
+                leaf.multiline = true;
+                mark(&mut changed_at, len);
+            }
+            // Crossing the demotion threshold changes what quality control
+            // is allowed to do to this leaf's pattern.
+            if group_before + 1 == self.opts.analyzer.min_group_for_demotion as u64 {
+                mark(&mut changed_at, len);
+            }
+            if leaf.examples.len() < 3 {
+                let raw = msg.source();
+                if !leaf.examples.iter().any(|e| *e == raw) {
+                    leaf.examples.push(raw.into_owned());
+                }
+            }
+        }
+        self.lru.push(Reverse((tick, len, at, trie.nodes[at].gen)));
+
+        // ---- Incremental merge pass, bottom-up along the inserted path. --
+        // Merging only restructures a node's children, so walking parents
+        // upward never invalidates the not-yet-visited prefix of `path`.
+        // The inserted leaf itself may be absorbed into a merge target;
+        // `landed` tracks where it ends up.
+        let mut landed = *path.last().expect("path has the root");
+        let mut retired: Vec<String> = Vec::new();
+        // `(retired render, surviving leaf)` for terminals absorbed by a
+        // merge; entries are forwarded if the survivor is itself absorbed.
+        let mut absorbed: Vec<(String, usize)> = Vec::new();
+        for i in (0..len).rev() {
+            let node_id = path[i];
+            let mut changed_here = false;
+            while merge_children_once(
+                trie,
+                node_id,
+                &mut retired,
+                &mut absorbed,
+                &mut self.lru,
+                nodes_total,
+                &mut landed,
+            ) {
+                self.merges += 1;
+                changed_here = true;
+            }
+            // Fan-out induction: too many distinct literal siblings means
+            // this position is a variable, whatever the subtrees look like.
+            if self.opts.max_literal_fanout > 0 {
+                let lit_fanout = trie.nodes[node_id]
+                    .children
+                    .keys()
+                    .filter(|k| matches!(k, NodeKey::Lit(_)))
+                    .count();
+                if lit_fanout > self.opts.max_literal_fanout {
+                    let mut ids: Vec<usize> = trie.nodes[node_id]
+                        .children
+                        .iter()
+                        .filter(|(k, _)| !matches!(k, NodeKey::Typed(_)))
+                        .map(|(_, &id)| id)
+                        .collect();
+                    if ids.len() >= 2 {
+                        ids.sort_unstable();
+                        merge_siblings(
+                            trie,
+                            node_id,
+                            &ids,
+                            true,
+                            &mut retired,
+                            &mut absorbed,
+                            &mut self.lru,
+                            nodes_total,
+                            &mut landed,
+                        );
+                        self.induced += 1;
+                        changed_here = true;
+                    }
+                }
+            }
+            if changed_here {
+                mark(&mut changed_at, i);
+            }
+        }
+
+        // ---- Re-extract the changed subtree and diff the published set. --
+        let mut delta = EvolveDelta::default();
+        debug_assert!(trie.nodes[landed].live && trie.nodes[landed].terminal);
+        if let Some(c) = changed_at {
+            // If the marked node was absorbed by a merge, the merge marked
+            // its parent level too, so the final mark is always live.
+            let sub_root = path[c.min(path.len() - 1)];
+            let mut decs: Vec<String> = retired;
+            let mut incs: Vec<(String, usize)> = Vec::new();
+            let mut stack = vec![sub_root];
+            while let Some(id) = stack.pop() {
+                stack.extend(trie.nodes[id].children.values().copied());
+                if !trie.nodes[id].terminal {
+                    continue;
+                }
+                let render = extract_leaf(trie, id, &self.opts.analyzer).render();
+                if trie.nodes[id].last_render.as_deref() != Some(render.as_str()) {
+                    if let Some(old) = trie.nodes[id].last_render.take() {
+                        // A reshaped leaf succeeds its own old render.
+                        delta.superseded.push((old.clone(), render.clone()));
+                        decs.push(old);
+                    }
+                    trie.nodes[id].last_render = Some(render.clone());
+                    incs.push((render, id));
+                }
+            }
+            // Absorbed terminals succeed to their surviving leaf's (possibly
+            // just-reassigned) render.
+            for (dead, survivor) in absorbed {
+                if let Some(r) = trie.nodes[survivor].last_render.clone() {
+                    delta.superseded.push((dead, r));
+                }
+            }
+            // Apply refcount movements, then report net transitions.
+            let mut touched: BTreeSet<String> = BTreeSet::new();
+            let mut was_published: HashMap<String, bool> = HashMap::new();
+            let mut first_leaf: HashMap<String, usize> = HashMap::new();
+            for r in decs.iter().chain(incs.iter().map(|(r, _)| r)) {
+                if touched.insert(r.clone()) {
+                    was_published.insert(r.clone(), self.published.contains_key(r));
+                }
+            }
+            for r in &decs {
+                if let Some(c) = self.published.get_mut(r) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.published.remove(r);
+                    }
+                }
+            }
+            for (r, leaf) in &incs {
+                let c = self.published.entry(r.clone()).or_insert(0);
+                *c += 1;
+                first_leaf.entry(r.clone()).or_insert(*leaf);
+            }
+            for r in &touched {
+                let was = was_published[r];
+                let is = self.published.contains_key(r);
+                if was && !is {
+                    delta.removed.push(r.clone());
+                } else if !was && is {
+                    let leaf = first_leaf[r];
+                    delta
+                        .added
+                        .push(discovered_from_leaf(trie, leaf, &self.opts.analyzer));
+                }
+            }
+        }
+
+        // ---- Credit this line exactly once. -----------------------------
+        if let Some(render) = trie.nodes[landed].last_render.clone() {
+            let added_entry = delta
+                .added
+                .iter_mut()
+                .find(|d| d.pattern.render() == render);
+            match added_entry {
+                Some(d) => d.match_count += 1,
+                None => *self.pending_counts.entry(render).or_insert(0) += 1,
+            }
+        }
+
+        // ---- Enforce the node cap by LRU leaf eviction. ------------------
+        if self.opts.node_cap > 0 {
+            self.enforce_cap(len, landed);
+        }
+        delta
+    }
+
+    /// Evict least-recently-touched leaves (never the one just observed)
+    /// until the node count fits the cap or nothing else is evictable.
+    /// Eviction forgets evidence, not decisions: published renders lose
+    /// their backing refcount silently and stay published.
+    fn enforce_cap(&mut self, landed_len: usize, landed: usize) {
+        let mut keep_back = None;
+        while self.nodes_total > self.opts.node_cap {
+            let Some(Reverse((touch, len, id, gen))) = self.lru.pop() else {
+                break;
+            };
+            let Some(trie) = self.tries.get_mut(&len) else {
+                continue;
+            };
+            {
+                let n = &trie.nodes[id];
+                if !n.live || n.gen != gen || !n.terminal || n.last_touch != touch {
+                    continue; // stale entry
+                }
+            }
+            if len == landed_len && id == landed {
+                // The current line's leaf is not evictable; remember its
+                // valid LRU entry and keep looking.
+                keep_back = Some(Reverse((touch, len, id, gen)));
+                continue;
+            }
+            // Drop the leaf's claim on its render (silently — see above).
+            if let Some(render) = trie.nodes[id].last_render.take() {
+                if let Some(c) = self.published.get_mut(&render) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.published.remove(&render);
+                    }
+                }
+            }
+            trie.nodes[id].terminal = false;
+            // Prune the now-dead chain upward.
+            let mut cur = id;
+            while cur != ROOT && !trie.nodes[cur].terminal && trie.nodes[cur].children.is_empty() {
+                let parent = trie.nodes[cur].parent;
+                let key = trie.nodes[cur].key.clone();
+                trie.nodes[parent].children.remove(&key);
+                trie.release(cur);
+                self.nodes_total -= 1;
+                cur = parent;
+            }
+            self.evictions += 1;
+        }
+        if let Some(entry) = keep_back {
+            self.lru.push(entry);
+        }
+    }
+}
+
+/// One round of the batch sibling-merge rule on `at`'s children: group
+/// literal and variable children by child-key-set signature and merge any
+/// group of two or more. Returns whether a merge happened (the caller loops
+/// to a local fixpoint, exactly like the batch pass).
+#[allow(clippy::too_many_arguments)]
+fn merge_children_once(
+    trie: &mut Trie,
+    at: usize,
+    retired: &mut Vec<String>,
+    absorbed: &mut Vec<(String, usize)>,
+    lru: &mut BinaryHeap<Reverse<(u64, usize, usize, u32)>>,
+    nodes_total: &mut usize,
+    landed: &mut usize,
+) -> bool {
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (key, &id) in &trie.nodes[at].children {
+        match key {
+            NodeKey::Lit(_) | NodeKey::Var(_) => {
+                let sig = child_set_signature(trie, id);
+                groups.entry(sig).or_default().push(id);
+            }
+            NodeKey::Typed(_) => {}
+        }
+    }
+    let mut merged_any = false;
+    for (_, mut ids) in groups {
+        if ids.len() < 2 {
+            continue;
+        }
+        ids.sort_unstable();
+        merge_siblings(
+            trie,
+            at,
+            &ids,
+            false,
+            retired,
+            absorbed,
+            lru,
+            nodes_total,
+            landed,
+        );
+        merged_any = true;
+    }
+    merged_any
+}
+
+/// A stable signature for a node's set of child keys (same as the batch
+/// trie's).
+fn child_set_signature(trie: &Trie, id: usize) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut keys: Vec<&NodeKey> = trie.nodes[id].children.keys().collect();
+    keys.sort();
+    let mut h = DefaultHasher::new();
+    keys.len().hash(&mut h);
+    for k in keys {
+        k.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Replace sibling nodes `ids` (children of `at`) by a single variable node
+/// whose subtrees are the recursive union of theirs. `absorbing` marks
+/// fan-out-induced variables, which additionally swallow future unknown
+/// literals on descent.
+#[allow(clippy::too_many_arguments)]
+fn merge_siblings(
+    trie: &mut Trie,
+    at: usize,
+    ids: &[usize],
+    absorbing: bool,
+    retired: &mut Vec<String>,
+    absorbed: &mut Vec<(String, usize)>,
+    lru: &mut BinaryHeap<Reverse<(u64, usize, usize, u32)>>,
+    nodes_total: &mut usize,
+    landed: &mut usize,
+) {
+    let id_set: std::collections::HashSet<usize> = ids.iter().copied().collect();
+    trie.nodes[at].children.retain(|_, v| !id_set.contains(v));
+    let target = ids[0];
+    for &other in &ids[1..] {
+        union_into(trie, target, other, retired, absorbed, nodes_total, landed);
+    }
+    let key = NodeKey::Var(target as u32);
+    trie.nodes[target].key = key.clone();
+    trie.nodes[target].parent = at;
+    trie.nodes[target].absorbing |= absorbing;
+    trie.nodes[at].children.insert(key, target);
+    if trie.nodes[target].terminal {
+        // The union may have advanced the leaf's touch; refresh its LRU
+        // entry (stale ones are skipped on pop).
+        let (touch, gen) = (trie.nodes[target].last_touch, trie.nodes[target].gen);
+        lru.push(Reverse((touch, leaf_len(trie, target), target, gen)));
+    }
+}
+
+/// Depth of a node == its token count (terminals sit at full depth).
+fn leaf_len(trie: &Trie, mut id: usize) -> usize {
+    let mut d = 0;
+    while id != ROOT {
+        id = trie.nodes[id].parent;
+        d += 1;
+    }
+    d
+}
+
+/// Recursively union node `other` into `target`, freeing the absorbed
+/// slots. A terminal absorbed into another leaf retires its previously
+/// published render (collected into `retired` for the caller's diff).
+#[allow(clippy::too_many_arguments)]
+fn union_into(
+    trie: &mut Trie,
+    target: usize,
+    other: usize,
+    retired: &mut Vec<String>,
+    absorbed: &mut Vec<(String, usize)>,
+    nodes_total: &mut usize,
+    landed: &mut usize,
+) {
+    if *landed == other {
+        *landed = target;
+    }
+    // Forward earlier absorptions whose survivor is now itself absorbed.
+    for e in absorbed.iter_mut() {
+        if e.1 == other {
+            e.1 = target;
+        }
+    }
+    let (terminal, observed, count, examples, last_render, multiline, last_touch, absorbing) = {
+        let o = &mut trie.nodes[other];
+        (
+            o.terminal,
+            std::mem::take(&mut o.observed),
+            o.count,
+            std::mem::take(&mut o.examples),
+            o.last_render.take(),
+            o.multiline,
+            o.last_touch,
+            o.absorbing,
+        )
+    };
+    {
+        let t = &mut trie.nodes[target];
+        t.count += count;
+        t.absorbing |= absorbing;
+        for v in observed {
+            if t.observed.len() >= MAX_OBSERVED {
+                break;
+            }
+            t.observed.insert(v);
+        }
+        if terminal {
+            t.terminal = true;
+            t.multiline |= multiline;
+            t.last_touch = t.last_touch.max(last_touch);
+            for e in examples {
+                if t.examples.len() < 3 && !t.examples.iter().any(|x| *x == e) {
+                    t.examples.push(e);
+                }
+            }
+            if let Some(r) = last_render {
+                absorbed.push((r.clone(), target));
+                retired.push(r);
+            }
+        }
+    }
+    let other_children: Vec<(NodeKey, usize)> = trie.nodes[other].children.drain().collect();
+    for (key, child) in other_children {
+        match trie.nodes[target].children.get(&key) {
+            Some(&existing) => union_into(
+                trie,
+                existing,
+                child,
+                retired,
+                absorbed,
+                nodes_total,
+                landed,
+            ),
+            None => {
+                trie.nodes[child].parent = target;
+                trie.nodes[target].children.insert(key, child);
+            }
+        }
+    }
+    trie.release(other);
+    *nodes_total -= 1;
+}
+
+/// Extract the pattern a leaf currently describes, using the shared batch
+/// induction semantics. Group size is the number of messages ending at the
+/// leaf, exactly as the batch extractor counts its terminal set.
+fn extract_leaf(trie: &Trie, leaf: usize, opts: &AnalyzerOptions) -> crate::pattern::Pattern {
+    let mut ids: Vec<usize> = Vec::new();
+    let mut cur = leaf;
+    while cur != ROOT {
+        ids.push(cur);
+        cur = trie.nodes[cur].parent;
+    }
+    ids.reverse();
+    let group_size = trie.nodes[leaf].count as usize;
+    let mut elements: Vec<PatternElement> = Vec::with_capacity(ids.len());
+    for id in ids {
+        let n = &trie.nodes[id];
+        elements.push(element_for(
+            opts,
+            &n.key,
+            &n.observed,
+            n.space_before,
+            group_size,
+        ));
+    }
+    finalize_pattern(opts, elements, trie.nodes[leaf].multiline)
+}
+
+/// Build the [`DiscoveredPattern`] for a leaf's current pattern. The match
+/// count starts at zero: lines are credited one at a time as they land
+/// (member indices are meaningless in a streaming setting and left empty).
+fn discovered_from_leaf(trie: &Trie, leaf: usize, opts: &AnalyzerOptions) -> DiscoveredPattern {
+    DiscoveredPattern {
+        pattern: extract_leaf(trie, leaf, opts),
+        match_count: 0,
+        examples: trie.nodes[leaf].examples.clone(),
+        member_indices: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use crate::scanner::Scanner;
+
+    fn evolver() -> PatternEvolver {
+        PatternEvolver::new(EvolveOptions::default())
+    }
+
+    fn feed(ev: &mut PatternEvolver, msgs: &[&str]) -> Vec<EvolveDelta> {
+        let scanner = Scanner::new();
+        msgs.iter().map(|m| ev.observe(&scanner.scan(m))).collect()
+    }
+
+    /// Renders of a batch run over the same lines, for equivalence checks.
+    fn batch_renders(msgs: &[&str]) -> Vec<String> {
+        let scanner = Scanner::new();
+        let scanned: Vec<_> = msgs.iter().map(|m| scanner.scan(m)).collect();
+        let mut v: Vec<String> = Analyzer::new()
+            .analyze(&scanned)
+            .iter()
+            .map(|d| d.pattern.render())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn singleton_published_immediately() {
+        let mut ev = evolver();
+        let deltas = feed(&mut ev, &["completely unique message text here"]);
+        assert_eq!(deltas[0].added.len(), 1);
+        assert_eq!(
+            deltas[0].added[0].pattern.render(),
+            "completely unique message text here"
+        );
+        assert_eq!(deltas[0].added[0].match_count, 1);
+        assert!(deltas[0].removed.is_empty());
+    }
+
+    #[test]
+    fn sibling_merge_retracts_the_specialised_patterns() {
+        let mut ev = evolver();
+        let msgs = [
+            "user alice logged in",
+            "user bob logged in",
+            "user carol logged in",
+        ];
+        let deltas = feed(&mut ev, &msgs);
+        // Second line merges alice/bob into a variable: one add, and the
+        // alice singleton is retracted.
+        assert_eq!(deltas[1].added.len(), 1);
+        assert!(deltas[1].added[0].pattern.render().contains('%'));
+        assert_eq!(deltas[1].removed, vec!["user alice logged in".to_string()]);
+        // Quiesced, the evolver agrees with the batch analyser.
+        assert_eq!(ev.renders(), batch_renders(&msgs));
+    }
+
+    #[test]
+    fn superseded_names_the_surviving_render() {
+        let mut ev = evolver();
+        let deltas = feed(&mut ev, &["user alice logged in", "user bob logged in"]);
+        // The merge retires the alice singleton and names its successor —
+        // the merged pattern that now describes alice's lines.
+        let merged = deltas[1].added[0].pattern.render();
+        assert!(deltas[1]
+            .superseded
+            .iter()
+            .any(|(dead, next)| dead == "user alice logged in" && *next == merged));
+    }
+
+    #[test]
+    fn identical_lines_produce_one_silent_pattern() {
+        let mut ev = evolver();
+        let deltas = feed(&mut ev, &["session closed", "session closed"]);
+        assert_eq!(deltas[0].added.len(), 1);
+        assert!(deltas[1].is_empty(), "repeat line changes nothing");
+        assert_eq!(ev.drain_counts(), vec![("session closed".to_string(), 1)]);
+    }
+
+    #[test]
+    fn quality_control_demotion_tracks_group_size() {
+        let mut ev = evolver();
+        // Group of one keeps the typed variable; crossing the demotion
+        // threshold (3) with a constant value demotes it to a literal.
+        let deltas = feed(&mut ev, &["port 22 open", "port 22 open", "port 22 open"]);
+        assert!(deltas[0].added[0].pattern.render().contains("%"));
+        assert_eq!(
+            deltas[2].added[0].pattern.render(),
+            "port 22 open",
+            "constant integer demoted at the threshold"
+        );
+        assert_eq!(deltas[2].removed.len(), 1);
+        // A differing value promotes it back to a variable.
+        let deltas = feed(&mut ev, &["port 8080 open"]);
+        assert_eq!(deltas[0].removed, vec!["port 22 open".to_string()]);
+        assert!(deltas[0].added[0].pattern.render().contains(":integer%"));
+    }
+
+    #[test]
+    fn typed_never_merges_with_literal() {
+        let mut ev = evolver();
+        feed(
+            &mut ev,
+            &["sent 64 bytes", "sent 64* bytes", "sent 128 bytes"],
+        );
+        assert_eq!(
+            ev.renders(),
+            batch_renders(&["sent 64 bytes", "sent 64* bytes", "sent 128 bytes"])
+        );
+        assert_eq!(ev.pattern_count(), 2, "the Proxifier flip stays split");
+    }
+
+    #[test]
+    fn fanout_threshold_induces_absorbing_variable() {
+        let mut ev = PatternEvolver::new(EvolveOptions {
+            max_literal_fanout: 4,
+            ..EvolveOptions::default()
+        });
+        // Distinct child key sets at the varying position (the *next* token
+        // varies too), so the signature rule alone never merges them.
+        let msgs: Vec<String> = (0..6).map(|i| format!("req id{i} mid{i} tail")).collect();
+        let before = ev.induced_vars();
+        for m in &msgs {
+            feed(&mut ev, &[m]);
+        }
+        assert!(ev.induced_vars() > before, "fan-out induction fired");
+        // Once induced, a fresh line is absorbed by the variable and the
+        // transient suffix nodes merge straight back: net node count flat.
+        feed(&mut ev, &["req idX midX tail"]);
+        let n = ev.node_count();
+        feed(&mut ev, &["req idY midY tail"]);
+        assert_eq!(
+            ev.node_count(),
+            n,
+            "absorbing variable swallows new literals"
+        );
+    }
+
+    #[test]
+    fn collapse_streak_demotes_stuck_typed_variable() {
+        let mut ev = PatternEvolver::new(EvolveOptions {
+            collapse_streak: 8,
+            ..EvolveOptions::default()
+        });
+        feed(&mut ev, &["retry in 5 s", "retry in 30 s"]);
+        assert!(ev.renders()[0].contains(":integer%"));
+        // The value then sticks at 5 for a long streak: drift to constant.
+        let stuck: Vec<String> = (0..8).map(|_| "retry in 5 s".to_string()).collect();
+        for m in &stuck {
+            feed(&mut ev, &[m]);
+        }
+        assert_eq!(ev.renders(), vec!["retry in 5 s".to_string()]);
+        // And a differing value promotes it again.
+        feed(&mut ev, &["retry in 60 s"]);
+        assert!(ev.renders()[0].contains(":integer%"));
+    }
+
+    #[test]
+    fn node_cap_evicts_lru_leaves_and_counts_them() {
+        let mut ev = PatternEvolver::new(EvolveOptions {
+            node_cap: 64,
+            max_literal_fanout: 0, // disable induction: force distinct paths
+            ..EvolveOptions::default()
+        });
+        let scanner = Scanner::new();
+        for i in 0..200 {
+            // Distinct shapes (typed marker varies position) defeat merging.
+            let msg = format!("alpha{i} beta{i} gamma{i}");
+            ev.observe(&scanner.scan(&msg));
+            assert!(ev.node_count() <= 64, "cap held after every line");
+        }
+        assert!(ev.evictions() > 0);
+    }
+
+    #[test]
+    fn eviction_keeps_published_patterns() {
+        let mut ev = PatternEvolver::new(EvolveOptions {
+            node_cap: 48,
+            max_literal_fanout: 0,
+            ..EvolveOptions::default()
+        });
+        feed(&mut ev, &["stable pattern kept published"]);
+        assert_eq!(ev.pattern_count(), 1);
+        for i in 0..100 {
+            feed(&mut ev, &[&format!("noise{i} word{i} tail{i}")]);
+        }
+        // The stable pattern's leaf has long been evicted, but eviction
+        // retracts nothing.
+        assert!(ev.evictions() > 0);
+    }
+
+    #[test]
+    fn multiline_leaf_gets_ignore_rest() {
+        let mut ev = evolver();
+        let deltas = feed(&mut ev, &["panic: oh no\n  at frame 1"]);
+        assert!(deltas[0].added[0].pattern.has_ignore_rest());
+    }
+
+    #[test]
+    fn credits_every_line_exactly_once() {
+        let mut ev = evolver();
+        let msgs: Vec<String> = (0..20).map(|i| format!("worker w{i} spawned")).collect();
+        let mut credited = 0u64;
+        let scanner = Scanner::new();
+        for m in &msgs {
+            let d = ev.observe(&scanner.scan(m));
+            credited += d.added.iter().map(|a| a.match_count).sum::<u64>();
+        }
+        credited += ev.drain_counts().iter().map(|(_, n)| n).sum::<u64>();
+        assert_eq!(credited, 20);
+    }
+}

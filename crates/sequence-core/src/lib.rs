@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod evolve;
 pub mod matcher;
 pub mod parser;
 pub mod pattern;
@@ -67,6 +68,7 @@ pub mod text;
 pub mod token;
 
 pub use analyzer::{Analyzer, AnalyzerOptions, DiscoveredPattern};
+pub use evolve::{EvolveDelta, EvolveOptions, PatternEvolver};
 pub use matcher::MatchScratch;
 pub use parser::{ParseOutcome, PatternSet};
 pub use pattern::{Captures, Pattern, PatternElement, PatternParseError};

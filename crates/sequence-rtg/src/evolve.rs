@@ -1,0 +1,386 @@
+//! Per-service *online* mining entry points: the evolving-trie counterpart
+//! of [`crate::service`]'s batch plan/commit split.
+//!
+//! Where [`plan_service`] re-analyses a whole residue batch,
+//! [`evolve_plan`] feeds each line into the service's live
+//! [`PatternEvolver`] and folds the per-line corrections into one
+//! [`EvolvePlan`]. The commit side reuses the store vocabulary unchanged
+//! (`upsert_discovered` for additions, `record_matches` for attribution), so
+//! evolution flows through the exact transaction/retry/publish machinery the
+//! batch path uses. Retractions never delete store rows — superseded
+//! patterns keep their history; they only leave the *published* set.
+//!
+//! [`plan_service`]: crate::service::plan_service
+
+use crate::record::LogRecord;
+use patterndb::{PatternStore, StoreError};
+use sequence_core::{
+    DiscoveredPattern, EvolveOptions, Pattern, PatternEvolver, PatternSet, Scanner,
+};
+use std::collections::HashMap;
+
+/// One service's live evolution state: the evolving trie plus the published
+/// map it maintains (`render → (store id, pattern)`), which doubles as the
+/// source for compiled-set rebuilds.
+#[derive(Debug)]
+pub struct ServiceEvolver {
+    evolver: PatternEvolver,
+    current: HashMap<String, (String, Pattern)>,
+}
+
+impl ServiceEvolver {
+    /// A fresh evolver.
+    pub fn new(opts: EvolveOptions) -> ServiceEvolver {
+        ServiceEvolver {
+            evolver: PatternEvolver::new(opts),
+            current: HashMap::new(),
+        }
+    }
+
+    /// An evolver seeded from a persisted pattern set (daemon restart): the
+    /// published map starts with the stored patterns so retractions and
+    /// match attribution resolve their ids; the trie starts empty and
+    /// rebuilds its evidence from live traffic.
+    pub fn seeded(opts: EvolveOptions, set: &PatternSet) -> ServiceEvolver {
+        let mut ev = ServiceEvolver::new(opts);
+        for (id, pattern) in set.iter() {
+            ev.current
+                .insert(pattern.render(), (id.to_string(), pattern.clone()));
+        }
+        ev
+    }
+
+    /// Live trie nodes (the memory bounded by the node cap).
+    pub fn node_count(&self) -> usize {
+        self.evolver.node_count()
+    }
+
+    /// Leaves evicted so far to hold the node cap.
+    pub fn evictions(&self) -> u64 {
+        self.evolver.evictions()
+    }
+
+    /// Number of patterns currently published for this service.
+    pub fn published_len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Store ids of the currently published patterns, by render.
+    pub fn known_ids(&self) -> HashMap<String, String> {
+        self.current
+            .iter()
+            .map(|(render, (id, _))| (render.clone(), id.clone()))
+            .collect()
+    }
+
+    /// Apply a durable commit: retract `removed`, adopt the committed
+    /// insertions, and compile the resulting set for publication. Only
+    /// called after the store transaction commits, so a rolled-back job
+    /// leaves the published map untouched.
+    pub fn apply_commit(&mut self, removed: &[String], commit: &EvolveCommit) -> PatternSet {
+        for render in removed {
+            self.current.remove(render);
+        }
+        for (render, id, pattern) in &commit.inserted {
+            self.current
+                .insert(render.clone(), (id.clone(), pattern.clone()));
+        }
+        let mut set = PatternSet::new();
+        for (id, pattern) in self.current.values() {
+            set.insert(id.clone(), pattern.clone());
+        }
+        set
+    }
+}
+
+/// The folded result of evolving one service's slice of a batch: pure data,
+/// reusable across commit retries (the trie mutation already happened and
+/// is not repeated).
+#[derive(Debug, Clone, Default)]
+pub struct EvolvePlan {
+    /// Records fed to the evolver.
+    pub received: u64,
+    /// Messages with embedded line breaks (truncated to their first line).
+    pub multiline: u64,
+    /// Messages that produced no tokens at all.
+    pub empty_messages: u64,
+    /// Patterns to publish (new or reshaped), with the lines credited to
+    /// them during this slice.
+    pub added: Vec<DiscoveredPattern>,
+    /// Renders to retract from the published set (no store deletion).
+    pub removed: Vec<String>,
+    /// Lines credited to already-published patterns, by render.
+    pub counts: Vec<(String, u64)>,
+    /// Leaves evicted by the node cap while this slice was observed.
+    pub evicted: u64,
+}
+
+/// Feed one service's records through its evolver and fold the per-line
+/// deltas into a single net plan. Unlike [`crate::service::plan_service`]
+/// this *does* mutate state (the live trie) — but the returned plan is
+/// still plain data, so a failed commit retries without re-observing.
+pub fn evolve_plan(
+    scanner: &Scanner,
+    state: &mut ServiceEvolver,
+    records: &[&LogRecord],
+) -> EvolvePlan {
+    let mut plan = EvolvePlan {
+        received: records.len() as u64,
+        ..EvolvePlan::default()
+    };
+    let evictions_before = state.evolver.evictions();
+    // Net effect of the per-line deltas: a render added then retracted in
+    // the same slice cancels out (its credited lines migrate to its
+    // successor: the store never saw the dead render); a render retracted
+    // then re-added folds into one upsert.
+    let mut added: Vec<(String, DiscoveredPattern)> = Vec::new();
+    let mut removed: Vec<String> = Vec::new();
+    // Retired render → the render that now describes its lines, kept
+    // flattened (values are always live successors, never retired renders).
+    let mut successor: HashMap<String, String> = HashMap::new();
+    // Line credits keyed by render, re-attributed through `successor` at the
+    // end (a render may die after credits were recorded against it).
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    {
+        let _span = obs::span!("rtg.scan");
+        for r in records {
+            let msg = scanner.scan(&r.message);
+            if msg.truncated_multiline {
+                plan.multiline += 1;
+            }
+            if msg.tokens.is_empty() {
+                plan.empty_messages += 1;
+                continue;
+            }
+            let delta = state.evolver.observe(&msg);
+            for (dead, next) in &delta.superseded {
+                for v in successor.values_mut() {
+                    if v == dead {
+                        *v = next.clone();
+                    }
+                }
+                successor.insert(dead.clone(), next.clone());
+            }
+            // A render added and then retracted within the same slice must
+            // not strand the lines credited to it: they migrate to the
+            // successor pattern (which absorbed the dead leaf's lines).
+            for render in delta.removed {
+                if let Some(pos) = added.iter().position(|(r2, _)| *r2 == render) {
+                    let (_, dead) = added.remove(pos);
+                    if dead.match_count > 0 {
+                        counts.push((render.clone(), dead.match_count));
+                    }
+                } else {
+                    removed.push(render);
+                }
+            }
+            for d in delta.added {
+                let render = d.pattern.render();
+                // Re-published: the render is live again, stop redirecting.
+                successor.remove(&render);
+                if let Some(pos) = removed.iter().position(|r2| *r2 == render) {
+                    removed.remove(pos);
+                }
+                match added.iter_mut().find(|(r2, _)| *r2 == render) {
+                    Some((_, existing)) => {
+                        existing.match_count += d.match_count;
+                        existing.pattern = d.pattern;
+                        existing.examples = d.examples;
+                    }
+                    None => added.push((render, d)),
+                }
+            }
+        }
+    }
+    counts.extend(state.evolver.drain_counts());
+    // Credits against a render the store can resolve (already published, or
+    // upserted by this very plan) stay put; credits against a dead
+    // never-persisted render follow the successor chain. A dead render with
+    // no successor is impossible by construction but kept visible (it
+    // surfaces as `uncredited` at commit) rather than silently dropped.
+    for (render, n) in counts {
+        let resolvable =
+            state.current.contains_key(&render) || added.iter().any(|(r2, _)| *r2 == render);
+        let key = if resolvable {
+            render
+        } else {
+            successor.get(&render).cloned().unwrap_or(render)
+        };
+        match plan.counts.iter_mut().find(|(r2, _)| *r2 == key) {
+            Some((_, total)) => *total += n,
+            None => plan.counts.push((key, n)),
+        }
+    }
+    plan.added = added.into_iter().map(|(_, d)| d).collect();
+    plan.removed = removed;
+    plan.evicted = state.evolver.evictions() - evictions_before;
+    plan
+}
+
+/// What one committed evolution plan did to the store.
+#[derive(Debug, Clone, Default)]
+pub struct EvolveCommit {
+    /// Committed publications, as `(render, store id, pattern)` for the
+    /// caller's [`ServiceEvolver::apply_commit`].
+    pub inserted: Vec<(String, String, Pattern)>,
+    /// Patterns newly created in the store.
+    pub new_patterns: u64,
+    /// Patterns that already existed and had their stats updated.
+    pub updated_patterns: u64,
+    /// Lines whose render had no resolvable store id (should be zero; kept
+    /// visible rather than silently discarded).
+    pub uncredited: u64,
+}
+
+/// Persist one evolution plan. `known_ids` maps currently published renders
+/// to their store ids (from [`ServiceEvolver::known_ids`], captured with
+/// the plan). The caller owns transaction boundaries, exactly as with
+/// [`crate::service::commit_service`].
+pub fn commit_evolution(
+    store: &mut PatternStore,
+    service: &str,
+    plan: &EvolvePlan,
+    known_ids: &HashMap<String, String>,
+    now: u64,
+) -> Result<EvolveCommit, StoreError> {
+    let mut out = EvolveCommit::default();
+    for d in &plan.added {
+        let (id, inserted) = store.upsert_discovered(service, d, now)?;
+        if inserted {
+            out.new_patterns += 1;
+        } else {
+            out.updated_patterns += 1;
+        }
+        out.inserted
+            .push((d.pattern.render(), id, d.pattern.clone()));
+    }
+    for (render, n) in &plan.counts {
+        let id = known_ids.get(render).cloned().or_else(|| {
+            out.inserted
+                .iter()
+                .find(|(r, _, _)| r == render)
+                .map(|(_, id, _)| id.clone())
+        });
+        match id {
+            Some(id) => store.record_matches(&id, *n, now)?,
+            None => out.uncredited += *n,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequence_core::MatchScratch;
+
+    fn records(msgs: &[&str]) -> Vec<LogRecord> {
+        msgs.iter().map(|m| LogRecord::new("sshd", *m)).collect()
+    }
+
+    fn run(state: &mut ServiceEvolver, owned: &[LogRecord]) -> EvolvePlan {
+        let refs: Vec<&LogRecord> = owned.iter().collect();
+        evolve_plan(&Scanner::new(), state, &refs)
+    }
+
+    #[test]
+    fn plan_commit_apply_publishes_a_matching_set() {
+        let mut state = ServiceEvolver::new(EvolveOptions::default());
+        let owned = records(&[
+            "Accepted password for root from 10.2.3.4 port 22 ssh2",
+            "Accepted password for admin from 10.9.9.9 port 2200 ssh2",
+            "Accepted password for guest from 172.16.0.5 port 22022 ssh2",
+        ]);
+        let plan = run(&mut state, &owned);
+        assert_eq!(plan.received, 3);
+        let credited: u64 = plan.added.iter().map(|d| d.match_count).sum::<u64>()
+            + plan.counts.iter().map(|(_, n)| n).sum::<u64>();
+        assert_eq!(credited, 3, "every line credited exactly once");
+
+        let mut store = PatternStore::in_memory();
+        store.begin().unwrap();
+        let ids = state.known_ids();
+        let commit = commit_evolution(&mut store, "sshd", &plan, &ids, 7).unwrap();
+        store.commit().unwrap();
+        assert_eq!(commit.uncredited, 0);
+        assert!(commit.new_patterns >= 1);
+
+        let set = state.apply_commit(&plan.removed, &commit);
+        let msg = Scanner::new().scan("Accepted password for eve from 203.0.113.7 port 9 ssh2");
+        assert!(
+            set.match_message_with(&msg, &mut MatchScratch::default())
+                .is_some(),
+            "published set matches a fresh line of the same event"
+        );
+        // Folding retired the specialised singletons: only live renders in
+        // the published map.
+        assert_eq!(state.published_len(), set.len());
+    }
+
+    #[test]
+    fn within_batch_supersession_folds_away() {
+        let mut state = ServiceEvolver::new(EvolveOptions::default());
+        let owned = records(&[
+            "user alice logged in",
+            "user bob logged in",
+            "user carol logged in",
+        ]);
+        let plan = run(&mut state, &owned);
+        // The alice/bob singletons merged within the slice: the net plan
+        // publishes only the merged pattern and retracts nothing that the
+        // store ever saw.
+        assert_eq!(plan.added.len(), 1);
+        assert!(plan.added[0].pattern.render().contains('%'));
+        assert!(plan.removed.is_empty());
+    }
+
+    #[test]
+    fn cross_batch_supersession_retracts_from_published_set() {
+        let mut state = ServiceEvolver::new(EvolveOptions::default());
+        let mut store = PatternStore::in_memory();
+
+        let first = records(&["link up on alpha"]);
+        let plan1 = run(&mut state, &first);
+        store.begin().unwrap();
+        let ids = state.known_ids();
+        let c1 = commit_evolution(&mut store, "sshd", &plan1, &ids, 1).unwrap();
+        store.commit().unwrap();
+        let set1 = state.apply_commit(&plan1.removed, &c1);
+        assert_eq!(set1.len(), 1);
+
+        // The second batch reshapes the pattern: the old render is
+        // retracted from the set but its store row survives.
+        let second = records(&["link up on beta"]);
+        let plan2 = run(&mut state, &second);
+        assert!(!plan2.removed.is_empty());
+        store.begin().unwrap();
+        let ids = state.known_ids();
+        let c2 = commit_evolution(&mut store, "sshd", &plan2, &ids, 2).unwrap();
+        store.commit().unwrap();
+        let set2 = state.apply_commit(&plan2.removed, &c2);
+        assert_eq!(set2.len(), 1, "superseded render left the set");
+        assert!(
+            store.pattern_count().unwrap() >= 2,
+            "retraction keeps store history"
+        );
+    }
+
+    #[test]
+    fn seeded_state_resolves_persisted_ids() {
+        let mut store = PatternStore::in_memory();
+        let mut state = ServiceEvolver::new(EvolveOptions::default());
+        let owned = records(&["job a done", "job b done", "job c done"]);
+        let plan = run(&mut state, &owned);
+        store.begin().unwrap();
+        let ids = state.known_ids();
+        let commit = commit_evolution(&mut store, "sshd", &plan, &ids, 1).unwrap();
+        store.commit().unwrap();
+        let set = state.apply_commit(&plan.removed, &commit);
+
+        // Restart: a fresh evolver seeded from the persisted set knows the
+        // published renders and their ids.
+        let reborn = ServiceEvolver::seeded(EvolveOptions::default(), &set);
+        assert_eq!(reborn.published_len(), set.len());
+        assert!(!reborn.known_ids().is_empty());
+    }
+}

@@ -108,6 +108,10 @@ fn metrics_stats_and_slow_ring_reflect_a_known_workload() {
         series(&metrics, "seqd_match_seconds_count"),
         series(&metrics, "seqd_matched_total") + series(&metrics, "seqd_unmatched_total"),
     );
+    // No record is ever double-counted: the fate counters never run ahead
+    // of `ingested` (the over-accounting direction `in_flight`'s
+    // saturating subtraction used to silently swallow).
+    assert_eq!(series(&metrics, "seqd_counter_drift_total"), 0);
 
     // --- /stats: per-stage and per-service percentiles.
     let stats = loadgen::control_get(addr, "/stats").expect("/stats");
@@ -159,5 +163,7 @@ fn metrics_stats_and_slow_ring_reflect_a_known_workload() {
     );
 
     handle.initiate_shutdown();
-    handle.join().expect("join");
+    let finals = handle.join().expect("join");
+    assert!(finals.reconciles(), "{finals:?}");
+    assert_eq!(finals.counter_drift(), 0, "{finals:?}");
 }
