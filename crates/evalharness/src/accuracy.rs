@@ -15,26 +15,34 @@ use std::collections::HashMap;
 /// `predicted` and `truth` give, for each message, its predicted cluster id
 /// and ground-truth event label. Returns the fraction of messages whose
 /// predicted cluster is a *perfect* reconstruction of their true event.
+/// Edge-case policy shared by every metric in this module:
+///
+/// * **Empty input** (no messages on either side) scores **1.0** — a parser
+///   shown nothing has grouped nothing wrong. The vacuous-truth convention
+///   keeps per-family CI gates well-defined when a scaled-down corpus
+///   filters to zero lines.
+/// * **Length mismatch** does not panic: messages are compared over the
+///   zipped prefix and the denominator is `max(len)`, so every unpaired
+///   message counts as wrong. A parser that dropped (or invented) lines is
+///   penalised, not crashed on.
 pub fn group_accuracy<P, T>(predicted: &[P], truth: &[T]) -> f64
 where
     P: std::hash::Hash + Eq + Clone,
     T: std::hash::Hash + Eq + Clone,
 {
-    assert_eq!(
-        predicted.len(),
-        truth.len(),
-        "assignment/label length mismatch"
-    );
-    if predicted.is_empty() {
-        return 0.0;
+    if predicted.is_empty() && truth.is_empty() {
+        return 1.0;
     }
-    // Sizes of each true event and each predicted cluster.
+    let denom = predicted.len().max(truth.len());
+    // Sizes of each true event and each predicted cluster, over the paired
+    // prefix only (unpaired suffix messages can never score).
+    let paired = predicted.len().min(truth.len());
     let mut truth_sizes: HashMap<&T, usize> = HashMap::new();
-    for t in truth {
+    for t in &truth[..paired] {
         *truth_sizes.entry(t).or_insert(0) += 1;
     }
     let mut pred_sizes: HashMap<&P, usize> = HashMap::new();
-    for p in predicted {
+    for p in &predicted[..paired] {
         *pred_sizes.entry(p).or_insert(0) += 1;
     }
     // Joint counts.
@@ -50,7 +58,7 @@ where
             correct += n;
         }
     }
-    correct as f64 / predicted.len() as f64
+    correct as f64 / denom as f64
 }
 
 /// Compute *mapping accuracy*: the metric the Sequence-RTG authors describe
@@ -73,14 +81,10 @@ where
     P: std::hash::Hash + Eq + Clone,
     T: std::hash::Hash + Eq + Clone,
 {
-    assert_eq!(
-        predicted.len(),
-        truth.len(),
-        "assignment/label length mismatch"
-    );
-    if predicted.is_empty() {
-        return 0.0;
+    if predicted.is_empty() && truth.is_empty() {
+        return 1.0;
     }
+    let denom = predicted.len().max(truth.len());
     let mut joint: HashMap<(&P, &T), usize> = HashMap::new();
     for (p, t) in predicted.iter().zip(truth) {
         *joint.entry((p, t)).or_insert(0) += 1;
@@ -108,7 +112,105 @@ where
         used_t.insert(t);
         correct += n;
     }
-    correct as f64 / predicted.len() as f64
+    correct as f64 / denom as f64
+}
+
+/// Template-level precision/recall/F1 over groups (the FGA-style metric of
+/// the LogHub-2.0 benchmark).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateScore {
+    /// Fraction of predicted groups that exactly reconstruct a truth event.
+    pub precision: f64,
+    /// Fraction of observed truth events exactly reconstructed by some
+    /// predicted group.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub f1: f64,
+    /// Number of distinct predicted groups.
+    pub predicted_groups: usize,
+    /// Number of distinct ground-truth events observed in the sample.
+    pub truth_groups: usize,
+    /// Predicted groups whose member set equals a truth event's member set.
+    pub correct_groups: usize,
+}
+
+/// Compute template-level P/R/F1: a predicted group is *correct* iff its
+/// member set is exactly the member set of one ground-truth event. This is
+/// the group-level companion to [`group_accuracy`] (which weights by
+/// messages); LogHub-2.0 calls it FGA (F1 of Group Accuracy).
+///
+/// Edge cases follow the module policy: both sides empty → P=R=F1=1.0;
+/// length mismatch compares the zipped prefix, with every unpaired message
+/// forced into a synthetic never-correct group on the short side so the
+/// mismatch shows up in precision/recall rather than a panic.
+pub fn template_prf<P, T>(predicted: &[P], truth: &[T]) -> TemplateScore
+where
+    P: std::hash::Hash + Eq + Clone,
+    T: std::hash::Hash + Eq + Clone,
+{
+    if predicted.is_empty() && truth.is_empty() {
+        return TemplateScore {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+            predicted_groups: 0,
+            truth_groups: 0,
+            correct_groups: 0,
+        };
+    }
+    let paired = predicted.len().min(truth.len());
+    let mut truth_sizes: HashMap<&T, usize> = HashMap::new();
+    for t in truth {
+        *truth_sizes.entry(t).or_insert(0) += 1;
+    }
+    let mut pred_sizes: HashMap<&P, usize> = HashMap::new();
+    for p in predicted {
+        *pred_sizes.entry(p).or_insert(0) += 1;
+    }
+    let mut joint: HashMap<(&P, &T), usize> = HashMap::new();
+    for (p, t) in predicted.iter().zip(truth) {
+        *joint.entry((p, t)).or_insert(0) += 1;
+    }
+    // Unpaired messages on the longer side still inflate that side's group
+    // count (their groups exist but can never be "correct"); the shorter
+    // side's notional extra group is accounted as one synthetic group.
+    let mut predicted_groups = pred_sizes.len();
+    let mut truth_groups = truth_sizes.len();
+    if predicted.len() < truth.len() && paired < truth.len() {
+        predicted_groups += 1; // the missing-assignments pseudo-group
+    }
+    if truth.len() < predicted.len() && paired < predicted.len() {
+        truth_groups += 1; // the unlabeled-messages pseudo-group
+    }
+    let mut correct_groups = 0usize;
+    for ((p, t), &n) in &joint {
+        if pred_sizes[p] == n && truth_sizes[t] == n {
+            correct_groups += 1;
+        }
+    }
+    let precision = if predicted_groups == 0 {
+        1.0
+    } else {
+        correct_groups as f64 / predicted_groups as f64
+    };
+    let recall = if truth_groups == 0 {
+        1.0
+    } else {
+        correct_groups as f64 / truth_groups as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    TemplateScore {
+        precision,
+        recall,
+        f1,
+        predicted_groups,
+        truth_groups,
+        correct_groups,
+    }
 }
 
 #[cfg(test)]
@@ -154,10 +256,75 @@ mod tests {
     }
 
     #[test]
-    fn empty_input() {
+    fn empty_input_is_vacuously_perfect() {
         let pred: Vec<u32> = vec![];
         let truth: Vec<&str> = vec![];
-        assert_eq!(group_accuracy(&pred, &truth), 0.0);
+        assert_eq!(group_accuracy(&pred, &truth), 1.0);
+        assert_eq!(mapping_accuracy(&pred, &truth), 1.0);
+        let s = template_prf(&pred, &truth);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+        assert_eq!(s.predicted_groups, 0);
+        assert_eq!(s.truth_groups, 0);
+    }
+
+    #[test]
+    fn single_group_is_well_defined() {
+        let pred = vec![0, 0, 0];
+        let truth = vec!["a", "a", "a"];
+        assert_eq!(group_accuracy(&pred, &truth), 1.0);
+        assert_eq!(mapping_accuracy(&pred, &truth), 1.0);
+        let s = template_prf(&pred, &truth);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+        assert_eq!(s.correct_groups, 1);
+        // And a lone message:
+        assert_eq!(group_accuracy(&[7], &["x"]), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_penalises_instead_of_panicking() {
+        // Three labelled messages, but the parser only assigned two: the
+        // paired prefix is perfect, the unpaired message counts wrong.
+        let pred = vec![0, 0];
+        let truth = vec!["a", "a", "b"];
+        let ga = group_accuracy(&pred, &truth);
+        assert!((ga - 2.0 / 3.0).abs() < 1e-12, "{ga}");
+        let ma = mapping_accuracy(&pred, &truth);
+        assert!((ma - 2.0 / 3.0).abs() < 1e-12, "{ma}");
+        assert!(ga.is_finite() && ma.is_finite());
+        // Symmetric case: extra predictions with no labels.
+        let ga2 = group_accuracy(&[0, 0, 1], &["a", "a"]);
+        assert!((ga2 - 2.0 / 3.0).abs() < 1e-12, "{ga2}");
+        // Template level: the truth event "b" has no correct predicted
+        // group, and the pseudo-group dilutes precision.
+        let s = template_prf(&pred, &truth);
+        assert_eq!(s.correct_groups, 1);
+        assert_eq!(s.predicted_groups, 2);
+        assert_eq!(s.truth_groups, 2);
+        assert!(s.f1.is_finite());
+    }
+
+    #[test]
+    fn template_prf_scores_groups_not_messages() {
+        // Cluster 0 reconstructs a (correct); b split across 1 and 2.
+        let pred = vec![0, 0, 1, 2, 2];
+        let truth = vec!["a", "a", "b", "b", "b"];
+        let s = template_prf(&pred, &truth);
+        assert_eq!(s.predicted_groups, 3);
+        assert_eq!(s.truth_groups, 2);
+        assert_eq!(s.correct_groups, 1);
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        let expect_f1 = 2.0 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5);
+        assert!((s.f1 - expect_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_prf_zero_when_nothing_matches() {
+        let pred = vec![0, 0, 0, 0];
+        let truth = vec!["a", "a", "b", "b"];
+        let s = template_prf(&pred, &truth);
+        assert_eq!(s.correct_groups, 0);
+        assert_eq!((s.precision, s.recall, s.f1), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! `bench-accuracy` — score Sequence-RTG (batch + online) and the four
+//! baselines on scaled-down fixed-seed LogHub-2.0 corpora, one JSON line
+//! per (family, tool) cell.
+//!
+//! ```text
+//! bench-accuracy [--lines N] [--seed S] [--families A,B,C] [--out PATH]
+//! ```
+//!
+//! Defaults reproduce the recorded `results/BENCH_accuracy.json`
+//! (`--lines 2000 --seed 20210906`, all 14 families). `ci.sh` runs this
+//! binary live and gates the per-family `sequence-rtg` grouping accuracy
+//! against the frozen `results/BENCH_accuracy.baseline.json`.
+
+use evalharness::harness::{render_json, score_family};
+use loghub_synth::loghub2::LOGHUB2_FAMILIES;
+
+fn main() {
+    let mut lines_n = evalharness::DATASET_LINES;
+    let mut seed = evalharness::DEFAULT_SEED;
+    let mut out: Option<String> = None;
+    let mut families: Vec<String> = LOGHUB2_FAMILIES.iter().map(|s| s.to_string()).collect();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--lines" => lines_n = value("--lines").parse().expect("--lines: integer"),
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => out = Some(value("--out")),
+            "--families" => {
+                families = value("--families")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: bench-accuracy [--lines N] [--seed S] [--families A,B,C] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for family in &families {
+        eprintln!("scoring {family} ({lines_n} lines, seed {seed})...");
+        let family_rows = score_family(family, lines_n, seed);
+        for r in &family_rows {
+            eprintln!(
+                "  {:<20} GA {:.4}  F1 {:.4}  groups {:>4}  {:>8.1} ms",
+                r.tool, r.grouping_accuracy, r.template.f1, r.found_groups, r.elapsed_ms
+            );
+        }
+        rows.extend(family_rows);
+    }
+
+    let json = render_json(&rows, lines_n, seed);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write output file");
+            eprintln!("wrote {} rows to {path}", rows.len());
+        }
+        None => print!("{json}"),
+    }
+}

@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod harness;
 pub mod perf;
 pub mod production;
 pub mod runner;
 
-pub use accuracy::{group_accuracy, mapping_accuracy};
+pub use accuracy::{group_accuracy, mapping_accuracy, template_prf, TemplateScore};
+pub use harness::{score_families, score_family, FamilyAccuracy};
 pub use perf::{run_fig5, Fig5Row, DEFAULT_SIZES};
 pub use production::{simulate, DayStats, SimConfig};
 pub use runner::{baseline_accuracy, rtg_accuracy, rtg_assignments, Variant};

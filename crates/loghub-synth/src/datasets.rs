@@ -51,7 +51,7 @@ pub struct Dataset {
 
 /// Header styles for the raw variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Header {
+pub(crate) enum Header {
     /// `Jun 14 15:16:01 combo sshd[19939]: `
     Syslog(&'static str),
     /// `081109 203615 148 INFO dfs.DataNode$PacketResponder: `
@@ -86,7 +86,7 @@ const MONTHS: &[&str] = &[
 const DAYS: &[&str] = &["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
 
 impl Header {
-    fn generate(self, rng: &mut Rng) -> String {
+    pub(crate) fn generate(self, rng: &mut Rng) -> String {
         let h = rng.gen_range(0..24u32);
         let mi = rng.gen_range(0..60u32);
         let s = rng.gen_range(0..60u32);
@@ -162,9 +162,9 @@ impl Header {
 }
 
 /// One event template with its relative frequency.
-struct EventSpec {
-    template: &'static str,
-    weight: u32,
+pub(crate) struct EventSpec {
+    pub(crate) template: &'static str,
+    pub(crate) weight: u32,
 }
 
 macro_rules! events {
@@ -173,10 +173,10 @@ macro_rules! events {
     };
 }
 
-struct ServiceSpec {
-    name: &'static str,
-    header: Header,
-    events: Vec<EventSpec>,
+pub(crate) struct ServiceSpec {
+    pub(crate) name: &'static str,
+    pub(crate) header: Header,
+    pub(crate) events: Vec<EventSpec>,
 }
 
 /// The sixteen dataset names, in the paper's Table II order.
@@ -199,7 +199,7 @@ pub const DATASET_NAMES: [&str; 16] = [
     "Proxifier",
 ];
 
-fn spec(name: &str) -> ServiceSpec {
+pub(crate) fn spec(name: &str) -> ServiceSpec {
     match name {
         "HDFS" => ServiceSpec {
             name: "HDFS",
@@ -669,7 +669,7 @@ pub fn generate(name: &str, n: usize, seed: u64) -> Dataset {
     }
 }
 
-fn hash_name(name: &str) -> u64 {
+pub(crate) fn hash_name(name: &str) -> u64 {
     name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x100000001b3)
     })

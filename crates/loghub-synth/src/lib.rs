@@ -26,6 +26,7 @@
 
 pub mod corpus;
 pub mod datasets;
+pub mod loghub2;
 pub mod slots;
 
 pub use corpus::{generate_stream, to_json_lines, CorpusConfig, StreamItem};

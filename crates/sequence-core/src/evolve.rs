@@ -825,6 +825,67 @@ fn discovered_from_leaf(trie: &Trie, leaf: usize, opts: &AnalyzerOptions) -> Dis
     }
 }
 
+/// Summary statistics of one [`evolve_corpus`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvolveCorpusStats {
+    /// Lines fed to the evolver.
+    pub observed: u64,
+    /// Pattern publications across all deltas (re-publications included).
+    pub added: u64,
+    /// Pattern retractions across all deltas.
+    pub removed: u64,
+    /// Supersessions (retired render → successor) across all deltas.
+    pub superseded: u64,
+    /// Leaves evicted to hold the node cap.
+    pub evictions: u64,
+    /// Patterns in the returned set.
+    pub final_patterns: usize,
+}
+
+/// Score-oriented entry point: stream a corpus through a fresh
+/// [`PatternEvolver`] and fold every [`EvolveDelta`] into the final
+/// published [`PatternSet`], with no pattern store in the loop.
+///
+/// This is what the accuracy harness (and any offline quality experiment)
+/// needs from the online path — the grouping the evolver would have
+/// published after seeing the corpus — without dragging in the daemon's
+/// persistence machinery. Patterns are keyed by their canonical render, so
+/// the returned set's ids are deterministic across runs.
+pub fn evolve_corpus<'a, I>(
+    opts: EvolveOptions,
+    scanner: &crate::scanner::Scanner,
+    lines: I,
+) -> (crate::parser::PatternSet, EvolveCorpusStats)
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    use std::collections::BTreeMap;
+    let mut evolver = PatternEvolver::new(opts);
+    let mut published: BTreeMap<String, crate::pattern::Pattern> = BTreeMap::new();
+    let mut stats = EvolveCorpusStats::default();
+    for line in lines {
+        stats.observed += 1;
+        let msg = scanner.scan_parse_only(line);
+        let delta = evolver.observe(&msg);
+        stats.superseded += delta.superseded.len() as u64;
+        for render in delta.removed {
+            published.remove(&render);
+            stats.removed += 1;
+        }
+        for d in delta.added {
+            published.insert(d.pattern.render(), d.pattern);
+            stats.added += 1;
+        }
+    }
+    stats.evictions = evolver.evictions();
+    stats.final_patterns = published.len();
+    let mut set = crate::parser::PatternSet::new();
+    for (render, pattern) in published {
+        set.insert(render, pattern);
+    }
+    (set, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

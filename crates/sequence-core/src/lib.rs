@@ -68,7 +68,7 @@ pub mod text;
 pub mod token;
 
 pub use analyzer::{Analyzer, AnalyzerOptions, DiscoveredPattern};
-pub use evolve::{EvolveDelta, EvolveOptions, PatternEvolver};
+pub use evolve::{evolve_corpus, EvolveCorpusStats, EvolveDelta, EvolveOptions, PatternEvolver};
 pub use matcher::MatchScratch;
 pub use parser::{ParseOutcome, PatternSet};
 pub use pattern::{Captures, Pattern, PatternElement, PatternParseError};
